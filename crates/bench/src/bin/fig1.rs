@@ -1,0 +1,48 @@
+//! Figure 1 — throughput and fairness of the I-fetch policies:
+//! ICOUNT (baseline), STALL, FLUSH and RaT over the Table 2 groups.
+
+use rat_bench::{HarnessArgs, TableWriter};
+use rat_core::{RunConfig, Runner};
+use rat_smt::{PolicyKind, SmtConfig};
+use rat_workload::{mixes_for_group, ALL_GROUPS};
+
+const POLICIES: [PolicyKind; 4] = [
+    PolicyKind::Icount,
+    PolicyKind::Stall,
+    PolicyKind::Flush,
+    PolicyKind::Rat,
+];
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let run = RunConfig {
+        insts_per_thread: args.insts,
+        warmup_insts: args.warmup,
+        seed: args.seed,
+        ..RunConfig::default()
+    };
+    let mut runner = Runner::new(SmtConfig::hpca2008_baseline(), run);
+
+    let mut thr = TableWriter::new(&["group", "ICOUNT", "STALL", "FLUSH", "RaT"]);
+    let mut fair = TableWriter::new(&["group", "ICOUNT", "STALL", "FLUSH", "RaT"]);
+    for &g in ALL_GROUPS {
+        let mut mixes = mixes_for_group(g);
+        if args.mixes > 0 {
+            mixes.truncate(args.mixes);
+        }
+        let mut trow = vec![g.name().to_string()];
+        let mut frow = vec![g.name().to_string()];
+        for policy in POLICIES {
+            let s = runner.run_group(&mixes, policy);
+            trow.push(format!("{:.3}", s.throughput));
+            frow.push(format!("{:.3}", s.fairness));
+        }
+        thr.row(trow);
+        fair.row(frow);
+        eprintln!("fig1: {} done", g.name());
+    }
+    println!("Figure 1(a). Throughput (avg IPC, Eq. 1) per I-fetch policy\n");
+    print!("{}", thr.render());
+    println!("\nFigure 1(b). Fairness (hmean of speedups, Eq. 2) per I-fetch policy\n");
+    print!("{}", fair.render());
+}

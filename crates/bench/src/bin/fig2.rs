@@ -1,0 +1,48 @@
+//! Figure 2 — throughput and fairness of the dynamic resource control
+//! policies: ICOUNT (baseline), DCRA, Hill Climbing and RaT.
+
+use rat_bench::{HarnessArgs, TableWriter};
+use rat_core::{RunConfig, Runner};
+use rat_smt::{PolicyKind, SmtConfig};
+use rat_workload::{mixes_for_group, ALL_GROUPS};
+
+const POLICIES: [PolicyKind; 4] = [
+    PolicyKind::Icount,
+    PolicyKind::Dcra,
+    PolicyKind::Hill,
+    PolicyKind::Rat,
+];
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let run = RunConfig {
+        insts_per_thread: args.insts,
+        warmup_insts: args.warmup,
+        seed: args.seed,
+        ..RunConfig::default()
+    };
+    let mut runner = Runner::new(SmtConfig::hpca2008_baseline(), run);
+
+    let mut thr = TableWriter::new(&["group", "ICOUNT", "DCRA", "HILL", "RaT"]);
+    let mut fair = TableWriter::new(&["group", "ICOUNT", "DCRA", "HILL", "RaT"]);
+    for &g in ALL_GROUPS {
+        let mut mixes = mixes_for_group(g);
+        if args.mixes > 0 {
+            mixes.truncate(args.mixes);
+        }
+        let mut trow = vec![g.name().to_string()];
+        let mut frow = vec![g.name().to_string()];
+        for policy in POLICIES {
+            let s = runner.run_group(&mixes, policy);
+            trow.push(format!("{:.3}", s.throughput));
+            frow.push(format!("{:.3}", s.fairness));
+        }
+        thr.row(trow);
+        fair.row(frow);
+        eprintln!("fig2: {} done", g.name());
+    }
+    println!("Figure 2(a). Throughput (avg IPC) per resource control policy\n");
+    print!("{}", thr.render());
+    println!("\nFigure 2(b). Fairness per resource control policy\n");
+    print!("{}", fair.render());
+}

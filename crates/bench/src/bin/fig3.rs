@@ -1,0 +1,44 @@
+//! Figure 3 — Energy-Delay² (executed instructions × CPI²) of every
+//! evaluated technique, normalized to the ICOUNT baseline per group.
+
+use rat_bench::{HarnessArgs, TableWriter};
+use rat_core::{RunConfig, Runner};
+use rat_smt::{PolicyKind, SmtConfig};
+use rat_workload::{mixes_for_group, ALL_GROUPS};
+
+const POLICIES: [PolicyKind; 5] = [
+    PolicyKind::Stall,
+    PolicyKind::Flush,
+    PolicyKind::Dcra,
+    PolicyKind::Hill,
+    PolicyKind::Rat,
+];
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let run = RunConfig {
+        insts_per_thread: args.insts,
+        warmup_insts: args.warmup,
+        seed: args.seed,
+        ..RunConfig::default()
+    };
+    let mut runner = Runner::new(SmtConfig::hpca2008_baseline(), run);
+
+    let mut t = TableWriter::new(&["group", "STALL", "FLUSH", "DCRA", "HILL", "RaT"]);
+    for &g in ALL_GROUPS {
+        let mut mixes = mixes_for_group(g);
+        if args.mixes > 0 {
+            mixes.truncate(args.mixes);
+        }
+        let base = runner.run_group(&mixes, PolicyKind::Icount).ed2;
+        let mut row = vec![g.name().to_string()];
+        for policy in POLICIES {
+            let s = runner.run_group(&mixes, policy);
+            row.push(format!("{:.3}", s.ed2 / base));
+        }
+        t.row(row);
+        eprintln!("fig3: {} done", g.name());
+    }
+    println!("Figure 3. ED² normalized to ICOUNT (lower is better)\n");
+    print!("{}", t.render());
+}

@@ -1,0 +1,105 @@
+//! Figure 4 — sources of improvement of RaT (paper §6.1):
+//!
+//! * **Prefetching**: speedup of full RaT over RaT-without-prefetching
+//!   (runahead loads may not touch the L2; suppressed loads do not
+//!   re-trigger runahead after recovery).
+//! * **Resource availability**: speedup of RaT-without-fetching (enter
+//!   runahead, stop fetching, drain and release resources) over ICOUNT —
+//!   the early-release benefit in isolation.
+//! * **Overhead**: change of the *other* threads' IPC when a thread runs
+//!   ahead without prefetching, vs. the ICOUNT baseline — the worst case
+//!   where all runahead work is useless.
+
+use rat_bench::{HarnessArgs, TableWriter};
+use rat_core::{RunConfig, Runner};
+use rat_smt::{PolicyKind, RunaheadVariant, SmtConfig};
+use rat_workload::{mixes_for_group, Mix, ThreadClass, ALL_GROUPS};
+
+fn variant_config(variant: RunaheadVariant) -> SmtConfig {
+    let mut cfg = SmtConfig::hpca2008_baseline();
+    cfg.policy = PolicyKind::Rat;
+    cfg.runahead.variant = variant;
+    cfg
+}
+
+/// Average IPC of the ILP-class threads of a mix result (the "remaining
+/// threads" of the overhead experiment).
+fn ilp_side_ipc(mix: &Mix, ipcs: &[f64]) -> Option<f64> {
+    let vals: Vec<f64> = mix
+        .benchmarks
+        .iter()
+        .zip(ipcs)
+        .filter(|(b, _)| b.class() == ThreadClass::Ilp)
+        .map(|(_, &ipc)| ipc)
+        .collect();
+    if vals.is_empty() {
+        None
+    } else {
+        Some(vals.iter().sum::<f64>() / vals.len() as f64)
+    }
+}
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let run = RunConfig {
+        insts_per_thread: args.insts,
+        warmup_insts: args.warmup,
+        seed: args.seed,
+        ..RunConfig::default()
+    };
+
+    let mut t = TableWriter::new(&[
+        "group",
+        "prefetching(%)",
+        "resource-avail(%)",
+        "overhead(%)",
+    ]);
+
+    for &g in ALL_GROUPS {
+        let mut mixes = mixes_for_group(g);
+        if args.mixes > 0 {
+            mixes.truncate(args.mixes);
+        }
+
+        let mut full = Runner::new(variant_config(RunaheadVariant::Full), run);
+        let mut nopf = Runner::new(variant_config(RunaheadVariant::NoPrefetch), run);
+        let mut nofetch = Runner::new(variant_config(RunaheadVariant::NoFetch), run);
+        let mut base = Runner::new(SmtConfig::hpca2008_baseline(), run);
+
+        let (mut pf_gain, mut ra_gain) = (0.0, 0.0);
+        let (mut ovh_sum, mut ovh_n) = (0.0, 0usize);
+        for mix in &mixes {
+            let r_full = full.run_mix(mix, PolicyKind::Rat);
+            let r_nopf = nopf.run_mix(mix, PolicyKind::Rat);
+            let r_nofetch = nofetch.run_mix(mix, PolicyKind::Rat);
+            let r_base = base.run_mix(mix, PolicyKind::Icount);
+            pf_gain += r_full.throughput() / r_nopf.throughput() - 1.0;
+            ra_gain += r_nofetch.throughput() / r_base.throughput() - 1.0;
+            if let (Some(a), Some(b)) = (
+                ilp_side_ipc(mix, &r_nopf.ipcs),
+                ilp_side_ipc(mix, &r_base.ipcs),
+            ) {
+                ovh_sum += a / b - 1.0;
+                ovh_n += 1;
+            }
+        }
+        let n = mixes.len() as f64;
+        let ovh = if ovh_n > 0 {
+            format!("{:+.1}", 100.0 * ovh_sum / ovh_n as f64)
+        } else {
+            "n/a".to_string()
+        };
+        t.row(vec![
+            g.name().to_string(),
+            format!("{:+.1}", 100.0 * pf_gain / n),
+            format!("{:+.1}", 100.0 * ra_gain / n),
+            ovh,
+        ]);
+        eprintln!("fig4: {} done", g.name());
+    }
+    println!("Figure 4. Sources of improvement of RaT\n");
+    print!("{}", t.render());
+    println!("\n(prefetching: RaT vs RaT-no-prefetch; resource availability: RaT-no-fetch vs");
+    println!(" ICOUNT; overhead: ILP co-runners under RaT-no-prefetch vs ICOUNT — negative");
+    println!(" means the useless-runahead worst case costs the other threads that much.)");
+}

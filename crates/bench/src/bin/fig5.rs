@@ -1,0 +1,59 @@
+//! Figure 5 — average allocated physical registers (INT+FP) per cycle, in
+//! normal mode vs. runahead mode, per workload group (RaT policy).
+
+use rat_bench::{HarnessArgs, TableWriter};
+use rat_core::{RunConfig, Runner};
+use rat_smt::{PolicyKind, SmtConfig};
+use rat_workload::{mixes_for_group, ALL_GROUPS};
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let run = RunConfig {
+        insts_per_thread: args.insts,
+        warmup_insts: args.warmup,
+        seed: args.seed,
+        ..RunConfig::default()
+    };
+    let mut runner = Runner::new(SmtConfig::hpca2008_baseline(), run);
+
+    let mut t = TableWriter::new(&["group", "normal mode", "runahead mode", "ratio"]);
+    for &g in ALL_GROUPS {
+        let mut mixes = mixes_for_group(g);
+        if args.mixes > 0 {
+            mixes.truncate(args.mixes);
+        }
+        // Per-cycle per-thread register occupancy, averaged over threads
+        // that actually spent cycles in each mode.
+        let (mut normal, mut nn) = (0.0, 0u64);
+        let (mut ra, mut rn) = (0.0, 0u64);
+        for mix in &mixes {
+            let r = runner.run_mix(mix, PolicyKind::Rat);
+            for ts in &r.thread_stats {
+                if let Some(v) = ts.regs_per_cycle(0) {
+                    normal += v;
+                    nn += 1;
+                }
+                if let Some(v) = ts.regs_per_cycle(1) {
+                    ra += v;
+                    rn += 1;
+                }
+            }
+        }
+        let normal = normal / nn.max(1) as f64;
+        let ra = if rn > 0 { ra / rn as f64 } else { f64::NAN };
+        t.row(vec![
+            g.name().to_string(),
+            format!("{normal:.1}"),
+            if rn > 0 { format!("{ra:.1}") } else { "n/a".into() },
+            if rn > 0 {
+                format!("{:.2}", ra / normal)
+            } else {
+                "n/a".into()
+            },
+        ]);
+        eprintln!("fig5: {} done", g.name());
+    }
+    println!("Figure 5. Avg physical registers (INT+FP) used per cycle per thread,");
+    println!("normal vs runahead mode (RaT policy)\n");
+    print!("{}", t.render());
+}

@@ -1,0 +1,68 @@
+//! Figure 6 — throughput vs. physical register file size for FLUSH and
+//! RaT, on 2-thread (a) and 4-thread (b) workload groups.
+//!
+//! Deviation from the paper: our renamer pins 32 INT + 32 FP registers per
+//! thread for architectural state and needs headroom to dispatch at all,
+//! so the sweep starts at 96 registers for 2 threads and 160 for 4 threads
+//! (the paper's x-axis nominally starts at 64, while itself noting that 4
+//! threads already need 128 registers for precise state).
+
+use rat_bench::{HarnessArgs, TableWriter};
+use rat_core::{RunConfig, Runner};
+use rat_smt::{PolicyKind, SmtConfig};
+use rat_workload::{mixes_for_group, WorkloadGroup};
+
+const SIZES_2T: [usize; 5] = [96, 128, 192, 256, 320];
+const SIZES_4T: [usize; 4] = [160, 192, 256, 320];
+
+fn sweep(groups: &[WorkloadGroup], sizes: &[usize], args: &HarnessArgs) -> TableWriter {
+    let mut header: Vec<String> = vec!["policy/group".into()];
+    header.extend(sizes.iter().map(|s| format!("{s}r")));
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut t = TableWriter::new(&header_refs);
+
+    for &g in groups {
+        let mut mixes = mixes_for_group(g);
+        if args.mixes > 0 {
+            mixes.truncate(args.mixes);
+        }
+        for policy in [PolicyKind::Flush, PolicyKind::Rat] {
+            let mut row = vec![format!("{} {}", policy.name(), g.name())];
+            for &size in sizes {
+                let mut cfg = SmtConfig::hpca2008_baseline();
+                cfg.int_regs = size;
+                cfg.fp_regs = size;
+                let run = RunConfig {
+                    insts_per_thread: args.insts,
+                    warmup_insts: args.warmup,
+                    seed: args.seed,
+                    ..RunConfig::default()
+                };
+                let mut runner = Runner::new(cfg, run);
+                let s = runner.run_group(&mixes, policy);
+                row.push(format!("{:.3}", s.throughput));
+            }
+            t.row(row);
+            eprintln!("fig6: {} {} done", policy.name(), g.name());
+        }
+    }
+    t
+}
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    println!("Figure 6(a). Throughput vs register file size, 2-thread workloads\n");
+    let t2 = sweep(
+        &[WorkloadGroup::Ilp2, WorkloadGroup::Mix2, WorkloadGroup::Mem2],
+        &SIZES_2T,
+        &args,
+    );
+    print!("{}", t2.render());
+    println!("\nFigure 6(b). Throughput vs register file size, 4-thread workloads\n");
+    let t4 = sweep(
+        &[WorkloadGroup::Ilp4, WorkloadGroup::Mix4, WorkloadGroup::Mem4],
+        &SIZES_4T,
+        &args,
+    );
+    print!("{}", t4.render());
+}

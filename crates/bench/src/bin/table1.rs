@@ -1,0 +1,59 @@
+//! Table 1 — the simulated SMT processor baseline configuration.
+
+use rat_bench::TableWriter;
+use rat_smt::SmtConfig;
+
+fn main() {
+    let c = SmtConfig::hpca2008_baseline();
+    let h = &c.hierarchy;
+    let mut t = TableWriter::new(&["parameter", "value"]);
+    let mut row = |k: &str, v: String| t.row(vec![k.to_string(), v]);
+    row("Processor depth", format!("{} front-end stages (+fetch, OoO back end)", c.frontend_depth));
+    row("Processor width", format!("{} way", c.width));
+    row("Fetch threads/cycle", format!("{}", c.fetch_threads));
+    row("Reorder buffer size", format!("{} shared entries", c.rob_size));
+    row("INT/FP registers", format!("{} / {}", c.int_regs, c.fp_regs));
+    row(
+        "INT/FP/LS issue queues",
+        format!("{} / {} / {}", c.iq_size[0], c.iq_size[1], c.iq_size[2]),
+    );
+    row(
+        "INT/FP/LdSt units",
+        format!("{} / {} / {}", c.fu_count[0], c.fu_count[1], c.fu_count[2]),
+    );
+    row(
+        "Branch predictor",
+        format!("Perceptron ({} entries, {} bits history)", c.bpred_table, c.bpred_history),
+    );
+    row(
+        "Icache",
+        format!(
+            "{} KB, {}-way, {} cyc pipelined",
+            h.icache.size_bytes / 1024,
+            h.icache.ways,
+            h.icache.latency
+        ),
+    );
+    row(
+        "Dcache",
+        format!(
+            "{} KB, {}-way, {} cyc latency",
+            h.dcache.size_bytes / 1024,
+            h.dcache.ways,
+            h.dcache.latency
+        ),
+    );
+    row(
+        "L2 cache",
+        format!(
+            "{} MB, {}-way, {} cyc latency",
+            h.l2.size_bytes / (1024 * 1024),
+            h.l2.ways,
+            h.l2.latency
+        ),
+    );
+    row("Caches line size", format!("{} bytes", h.dcache.line_bytes));
+    row("Main memory latency", format!("{} cycles", h.memory_latency));
+    println!("Table 1. SMT processor baseline configuration\n");
+    print!("{}", t.render());
+}

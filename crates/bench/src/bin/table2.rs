@@ -1,0 +1,25 @@
+//! Table 2 — the SMT simulation workload classification.
+
+use rat_bench::TableWriter;
+use rat_workload::{mixes_for_group, ALL_GROUPS};
+
+fn main() {
+    println!("Table 2. SMT simulation workload classification\n");
+    let mut t = TableWriter::new(&["group", "threads", "mixes"]);
+    for &g in ALL_GROUPS {
+        let mixes = mixes_for_group(g);
+        t.row(vec![
+            g.name().to_string(),
+            g.thread_count().to_string(),
+            mixes.len().to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+    println!();
+    for &g in ALL_GROUPS {
+        println!("{}:", g.name());
+        for mix in mixes_for_group(g) {
+            println!("  {}", mix.label().replace('+', ","));
+        }
+    }
+}

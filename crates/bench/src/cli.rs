@@ -1,0 +1,102 @@
+//! Minimal argument parsing shared by the figure binaries.
+
+/// Common harness options.
+///
+/// Flags: `--insts N` (per-thread measurement quota), `--warmup N`,
+/// `--mixes N` (mixes per group), `--seed N`, `--quick` (tiny preset).
+#[derive(Clone, Copy, Debug)]
+pub struct HarnessArgs {
+    /// Per-thread committed-instruction quota for measurement.
+    pub insts: u64,
+    /// Per-thread warmup instructions before stats reset.
+    pub warmup: u64,
+    /// Number of Table 2 mixes per group to run (0 = all).
+    pub mixes: usize,
+    /// Base RNG seed for workload generation.
+    pub seed: u64,
+}
+
+impl Default for HarnessArgs {
+    fn default() -> Self {
+        HarnessArgs {
+            insts: 30_000,
+            warmup: 20_000,
+            mixes: 0,
+            seed: 42,
+        }
+    }
+}
+
+impl HarnessArgs {
+    /// Parses `std::env::args()`-style arguments.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    pub fn parse(args: impl Iterator<Item = String>) -> Self {
+        let mut out = HarnessArgs::default();
+        let mut args = args.peekable();
+        while let Some(a) = args.next() {
+            let num = |args: &mut std::iter::Peekable<_>| -> u64 {
+                let v: Option<String> = Iterator::next(args);
+                v.and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| panic!("expected a number after {a}"))
+            };
+            match a.as_str() {
+                "--insts" => out.insts = num(&mut args),
+                "--warmup" => out.warmup = num(&mut args),
+                "--mixes" => out.mixes = num(&mut args) as usize,
+                "--seed" => out.seed = num(&mut args),
+                "--quick" => {
+                    out.insts = 8_000;
+                    out.warmup = 3_000;
+                    out.mixes = 2;
+                }
+                "--help" | "-h" => {
+                    eprintln!(
+                        "options: --insts N  --warmup N  --mixes N (0=all)  --seed N  --quick"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unknown argument {other}"),
+            }
+        }
+        out
+    }
+
+    /// Parses the process arguments (skipping argv[0]).
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let a = HarnessArgs::default();
+        assert!(a.insts > 0 && a.warmup > 0);
+        assert_eq!(a.mixes, 0);
+    }
+
+    #[test]
+    fn parse_flags() {
+        let a = HarnessArgs::parse(
+            ["--insts", "100", "--warmup", "5", "--mixes", "3", "--seed", "7"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(a.insts, 100);
+        assert_eq!(a.warmup, 5);
+        assert_eq!(a.mixes, 3);
+        assert_eq!(a.seed, 7);
+    }
+
+    #[test]
+    fn quick_preset() {
+        let a = HarnessArgs::parse(["--quick"].iter().map(|s| s.to_string()));
+        assert!(a.insts < HarnessArgs::default().insts);
+    }
+}

@@ -1,0 +1,11 @@
+//! # rat-bench — figure/table harness support
+//!
+//! The binaries in this crate regenerate every table and figure of the
+//! paper's evaluation; shared plumbing (CLI parsing, table formatting)
+//! lives here. See `DESIGN.md` for the experiment index.
+
+pub mod cli;
+pub mod table;
+
+pub use cli::HarnessArgs;
+pub use table::TableWriter;

@@ -1,0 +1,141 @@
+//! Simpler predictors: gshare and bimodal, used for tests and ablations.
+
+use crate::history::GlobalHistory;
+use crate::Predictor;
+
+/// A classic gshare predictor: 2-bit saturating counters indexed by
+/// `pc ⊕ history`.
+#[derive(Clone, Debug)]
+pub struct GsharePredictor {
+    counters: Vec<u8>,
+    history_bits: usize,
+}
+
+impl GsharePredictor {
+    /// Creates a gshare predictor with `table_size` 2-bit counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table_size` is not a power of two.
+    pub fn new(table_size: usize, history_bits: usize) -> Self {
+        assert!(table_size.is_power_of_two(), "table size must be a power of two");
+        GsharePredictor {
+            // Initialize to weakly taken: loop branches predict well early.
+            counters: vec![2; table_size],
+            history_bits: history_bits.min(63),
+        }
+    }
+
+    #[inline]
+    fn index(&self, pc: u64, history: &GlobalHistory) -> usize {
+        let mask = (self.counters.len() - 1) as u64;
+        let hist = history.bits() & ((1u64 << self.history_bits) - 1);
+        (((pc >> 2) ^ hist) & mask) as usize
+    }
+}
+
+impl Predictor for GsharePredictor {
+    fn predict(&self, pc: u64, history: &GlobalHistory) -> bool {
+        self.counters[self.index(pc, history)] >= 2
+    }
+
+    fn train(&mut self, pc: u64, history: &GlobalHistory, outcome: bool, _predicted: bool) {
+        let idx = self.index(pc, history);
+        let c = &mut self.counters[idx];
+        if outcome {
+            *c = (*c + 1).min(3);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+    }
+}
+
+/// A bimodal predictor: 2-bit counters indexed by PC only. The weakest
+/// baseline; useful to sanity-check that the perceptron beats it.
+#[derive(Clone, Debug)]
+pub struct BimodalPredictor {
+    counters: Vec<u8>,
+}
+
+impl BimodalPredictor {
+    /// Creates a bimodal predictor with `table_size` 2-bit counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table_size` is not a power of two.
+    pub fn new(table_size: usize) -> Self {
+        assert!(table_size.is_power_of_two(), "table size must be a power of two");
+        BimodalPredictor {
+            counters: vec![2; table_size],
+        }
+    }
+
+    #[inline]
+    fn index(&self, pc: u64) -> usize {
+        ((pc >> 2) as usize) & (self.counters.len() - 1)
+    }
+}
+
+impl Predictor for BimodalPredictor {
+    fn predict(&self, pc: u64, _history: &GlobalHistory) -> bool {
+        self.counters[self.index(pc)] >= 2
+    }
+
+    fn train(&mut self, pc: u64, _history: &GlobalHistory, outcome: bool, _predicted: bool) {
+        let idx = self.index(pc);
+        let c = &mut self.counters[idx];
+        if outcome {
+            *c = (*c + 1).min(3);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn accuracy<P: Predictor, F: Fn(u64) -> bool>(p: &mut P, f: F, n: u64) -> f64 {
+        let mut h = GlobalHistory::new();
+        let mut ok = 0;
+        for i in 0..n {
+            let outcome = f(i);
+            let pred = p.predict(0x2000, &h);
+            if pred == outcome {
+                ok += 1;
+            }
+            p.train(0x2000, &h, outcome, pred);
+            h.push(outcome);
+        }
+        ok as f64 / n as f64
+    }
+
+    #[test]
+    fn gshare_learns_biased_branch() {
+        let mut p = GsharePredictor::new(256, 8);
+        assert!(accuracy(&mut p, |_| true, 200) > 0.95);
+    }
+
+    #[test]
+    fn gshare_learns_short_pattern() {
+        let mut p = GsharePredictor::new(1024, 8);
+        assert!(accuracy(&mut p, |i| i % 4 != 3, 4000) > 0.9);
+    }
+
+    #[test]
+    fn bimodal_tracks_bias_only() {
+        let mut p = BimodalPredictor::new(256);
+        assert!(accuracy(&mut p, |_| false, 200) > 0.9);
+        // Alternating defeats a bimodal counter (≈50%).
+        let mut p2 = BimodalPredictor::new(256);
+        let acc = accuracy(&mut p2, |i| i % 2 == 0, 2000);
+        assert!(acc < 0.7, "bimodal should not learn alternation, got {acc}");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bimodal_non_pow2_panics() {
+        BimodalPredictor::new(100);
+    }
+}

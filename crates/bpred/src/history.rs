@@ -1,0 +1,67 @@
+//! Per-thread global branch history.
+
+/// A per-thread global history register of conditional-branch outcomes,
+/// most recent outcome in bit 0.
+///
+/// SMT pipelines keep one of these per hardware thread while sharing the
+/// predictor tables, so the history is passed into
+/// [`Predictor`](crate::Predictor) calls rather than stored in the tables.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GlobalHistory {
+    bits: u64,
+}
+
+impl GlobalHistory {
+    /// An empty (all not-taken) history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reconstructs a history from raw bits (the pipeline snapshots the
+    /// fetch-time history in each branch's ROB entry for training).
+    #[inline]
+    pub fn from_bits(bits: u64) -> Self {
+        GlobalHistory { bits }
+    }
+
+    /// Shifts in the outcome of the most recently resolved branch.
+    #[inline]
+    pub fn push(&mut self, taken: bool) {
+        self.bits = (self.bits << 1) | taken as u64;
+    }
+
+    /// The raw history bits (most recent in bit 0).
+    #[inline]
+    pub fn bits(&self) -> u64 {
+        self.bits
+    }
+
+    /// The `i`-th most recent outcome (`i == 0` is the latest).
+    #[inline]
+    pub fn outcome(&self, i: usize) -> bool {
+        debug_assert!(i < 64);
+        (self.bits >> i) & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_shifts_in_outcomes() {
+        let mut h = GlobalHistory::new();
+        h.push(true);
+        h.push(false);
+        h.push(true);
+        assert!(h.outcome(0));
+        assert!(!h.outcome(1));
+        assert!(h.outcome(2));
+        assert_eq!(h.bits() & 0b111, 0b101);
+    }
+
+    #[test]
+    fn default_is_empty() {
+        assert_eq!(GlobalHistory::new().bits(), 0);
+    }
+}

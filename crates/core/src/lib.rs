@@ -1,0 +1,44 @@
+//! # rat-core — experiment runner and metrics for the RaT reproduction
+//!
+//! This is the crate downstream users interact with: it ties the synthetic
+//! workloads ([`rat_workload`]) to the SMT pipeline ([`rat_smt`]) and
+//! computes the paper's evaluation metrics:
+//!
+//! * **Throughput** (Eq. 1): the average of per-thread IPCs;
+//! * **Fairness** (Eq. 2): the harmonic mean of each thread's
+//!   multithreaded-vs-single-threaded speedup;
+//! * **ED²** (§5.3): executed instructions × CPI², the paper's
+//!   energy-delay-squared proxy.
+//!
+//! Measurement follows the paper's FAME-inspired methodology: threads run
+//! warmup instructions first, statistics reset, and then the simulation
+//! continues until *every* thread has committed its measurement quota —
+//! each thread's IPC is taken over its own window so fast threads do not
+//! truncate slow ones.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use rat_core::{Runner, RunConfig};
+//! use rat_smt::{PolicyKind, SmtConfig};
+//! use rat_workload::{mixes_for_group, WorkloadGroup};
+//!
+//! let mut runner = Runner::new(SmtConfig::hpca2008_baseline(), RunConfig::default());
+//! let mix = &mixes_for_group(WorkloadGroup::Mem2)[1]; // art+mcf
+//! let result = runner.run_mix(mix, PolicyKind::Rat);
+//! println!("throughput {:.3}", result.throughput());
+//! println!("fairness   {:.3}", runner.fairness(&result));
+//! ```
+
+mod metrics;
+mod runner;
+
+pub use metrics::{ed2, fairness_from_ipcs, throughput_from_ipcs};
+pub use runner::{GroupSummary, MixResult, RunConfig, Runner};
+
+// Re-export the layers so downstream users need a single dependency.
+pub use rat_bpred as bpred;
+pub use rat_isa as isa;
+pub use rat_mem as mem;
+pub use rat_smt as smt;
+pub use rat_workload as workload;

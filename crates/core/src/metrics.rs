@@ -1,0 +1,97 @@
+//! The paper's evaluation metrics (Eqs. 1 and 2, and the §5.3 ED² proxy).
+
+/// Equation 1: throughput as the average of per-thread IPCs.
+///
+/// # Panics
+///
+/// Panics if `ipcs` is empty.
+pub fn throughput_from_ipcs(ipcs: &[f64]) -> f64 {
+    assert!(!ipcs.is_empty(), "throughput of zero threads");
+    ipcs.iter().sum::<f64>() / ipcs.len() as f64
+}
+
+/// Equation 2: the fairness / performance balance — the harmonic mean of
+/// per-thread speedups `IPC_MT / IPC_ST`:
+///
+/// ```text
+/// Fairness = n / Σ (IPC_ST,i / IPC_MT,i)
+/// ```
+///
+/// # Panics
+///
+/// Panics if the slices differ in length, are empty, or any multithreaded
+/// IPC is non-positive.
+pub fn fairness_from_ipcs(mt_ipcs: &[f64], st_ipcs: &[f64]) -> f64 {
+    assert_eq!(mt_ipcs.len(), st_ipcs.len(), "thread count mismatch");
+    assert!(!mt_ipcs.is_empty(), "fairness of zero threads");
+    let sum: f64 = mt_ipcs
+        .iter()
+        .zip(st_ipcs)
+        .map(|(&mt, &st)| {
+            assert!(mt > 0.0, "thread with zero multithreaded IPC");
+            st / mt
+        })
+        .sum();
+    mt_ipcs.len() as f64 / sum
+}
+
+/// §5.3: `ED² = executed_instructions × CPI²`, with CPI the average
+/// cycles-per-committed-instruction (`n / Σ IPC_i`, the reciprocal of
+/// Eq. 1 throughput). The figures normalize this to the ICOUNT baseline.
+///
+/// # Panics
+///
+/// Panics if `ipcs` is empty or sums to zero.
+pub fn ed2(executed_insts: u64, ipcs: &[f64]) -> f64 {
+    let avg_ipc = throughput_from_ipcs(ipcs);
+    assert!(avg_ipc > 0.0, "ED2 of a stalled machine");
+    let cpi = 1.0 / avg_ipc;
+    executed_insts as f64 * cpi * cpi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_is_average() {
+        assert!((throughput_from_ipcs(&[1.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert!((throughput_from_ipcs(&[2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fairness_equal_speedups() {
+        // Every thread at half its ST speed: fairness = 0.5.
+        let f = fairness_from_ipcs(&[0.5, 1.0], &[1.0, 2.0]);
+        assert!((f - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fairness_punishes_imbalance() {
+        // One starved thread dominates the harmonic mean.
+        let balanced = fairness_from_ipcs(&[0.5, 0.5], &[1.0, 1.0]);
+        let skewed = fairness_from_ipcs(&[0.9, 0.1], &[1.0, 1.0]);
+        assert!(skewed < balanced);
+    }
+
+    #[test]
+    fn ed2_scales_with_work_and_delay() {
+        let fast = ed2(1000, &[2.0]);
+        let slow = ed2(1000, &[1.0]);
+        assert!((slow / fast - 4.0).abs() < 1e-9, "CPI² scaling");
+        let more_work = ed2(2000, &[1.0]);
+        assert!((more_work / slow - 2.0).abs() < 1e-9, "linear energy scaling");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero threads")]
+    fn empty_throughput_panics() {
+        throughput_from_ipcs(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn fairness_length_mismatch_panics() {
+        fairness_from_ipcs(&[1.0], &[1.0, 2.0]);
+    }
+}

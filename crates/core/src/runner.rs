@@ -1,0 +1,249 @@
+//! Experiment execution: mixes, warmup, measurement, ST reference runs.
+
+use std::collections::HashMap;
+
+use rat_smt::{PolicyKind, SmtConfig, SmtSimulator, ThreadStats};
+use rat_workload::{Benchmark, Mix, ThreadImage};
+
+use crate::metrics;
+
+/// Measurement methodology parameters (instruction quotas, cycle bounds).
+#[derive(Clone, Copy, Debug)]
+pub struct RunConfig {
+    /// Committed instructions per thread in the measurement window.
+    pub insts_per_thread: u64,
+    /// Committed instructions per thread before statistics reset (cache
+    /// and predictor warmup).
+    pub warmup_insts: u64,
+    /// Hard cycle bound per phase (guards against pathological configs).
+    pub max_cycles: u64,
+    /// Base RNG seed; thread `i` of a mix uses `seed + i`.
+    pub seed: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            insts_per_thread: 30_000,
+            warmup_insts: 20_000,
+            max_cycles: 400_000_000,
+            seed: 42,
+        }
+    }
+}
+
+/// The outcome of simulating one mix under one policy.
+#[derive(Clone, Debug)]
+pub struct MixResult {
+    /// The simulated mix.
+    pub mix: Mix,
+    /// The policy under test.
+    pub policy: PolicyKind,
+    /// Per-thread IPC over each thread's measurement window.
+    pub ipcs: Vec<f64>,
+    /// Total executed (issued) instructions in the measurement window.
+    pub executed_insts: u64,
+    /// Measurement-window cycles (reset → last quota).
+    pub cycles: u64,
+    /// Whether every thread reached its quota before `max_cycles`.
+    pub complete: bool,
+    /// Full per-thread counters.
+    pub thread_stats: Vec<ThreadStats>,
+}
+
+impl MixResult {
+    /// Equation 1 throughput for this mix.
+    pub fn throughput(&self) -> f64 {
+        metrics::throughput_from_ipcs(&self.ipcs)
+    }
+
+    /// §5.3 ED² (unnormalized).
+    pub fn ed2(&self) -> f64 {
+        metrics::ed2(self.executed_insts, &self.ipcs)
+    }
+}
+
+/// Average metrics over the mixes of one workload group.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GroupSummary {
+    /// Mean Eq. 1 throughput over the group's mixes.
+    pub throughput: f64,
+    /// Mean Eq. 2 fairness over the group's mixes.
+    pub fairness: f64,
+    /// Mean ED² over the group's mixes (normalize against a baseline
+    /// summary before reporting).
+    pub ed2: f64,
+    /// Number of mixes aggregated.
+    pub mixes: usize,
+}
+
+/// Runs experiments and caches single-thread reference IPCs.
+///
+/// The ST references (denominators of Eq. 2) are measured on the same
+/// hardware configuration with the ICOUNT policy, as in the paper.
+pub struct Runner {
+    smt: SmtConfig,
+    run: RunConfig,
+    st_cache: HashMap<(Benchmark, u64), f64>,
+}
+
+impl Runner {
+    /// Creates a runner over a hardware configuration and methodology.
+    pub fn new(smt: SmtConfig, run: RunConfig) -> Self {
+        Runner {
+            smt,
+            run,
+            st_cache: HashMap::new(),
+        }
+    }
+
+    /// The hardware configuration (policy field is overridden per run).
+    pub fn smt_config(&self) -> &SmtConfig {
+        &self.smt
+    }
+
+    /// Mutable access (e.g. for the Figure 6 register-file sweep). Clears
+    /// the ST cache since references depend on the hardware.
+    pub fn smt_config_mut(&mut self) -> &mut SmtConfig {
+        self.st_cache.clear();
+        &mut self.smt
+    }
+
+    /// The methodology parameters.
+    pub fn run_config(&self) -> &RunConfig {
+        &self.run
+    }
+
+    fn build_sim(&self, benches: &[Benchmark], policy: PolicyKind, seed: u64) -> SmtSimulator {
+        let mut cfg = self.smt;
+        cfg.policy = policy;
+        let cpus = benches
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| ThreadImage::generate(b, seed + i as u64).build_cpu())
+            .collect();
+        SmtSimulator::new(cfg, cpus)
+    }
+
+    /// Simulates `mix` under `policy`: warmup, stats reset, measurement
+    /// until every thread commits its quota.
+    pub fn run_mix(&mut self, mix: &Mix, policy: PolicyKind) -> MixResult {
+        let mut sim = self.build_sim(&mix.benchmarks, policy, self.run.seed);
+        sim.run_until_quota(self.run.warmup_insts, self.run.max_cycles);
+        sim.reset_stats();
+        let complete = sim.run_until_quota(self.run.insts_per_thread, self.run.max_cycles);
+        let n = mix.benchmarks.len();
+        let ipcs = (0..n).map(|t| sim.stats().thread_ipc(t)).collect();
+        MixResult {
+            mix: mix.clone(),
+            policy,
+            ipcs,
+            executed_insts: sim.stats().executed_insts(),
+            cycles: sim.stats().cycles_since_reset(),
+            complete,
+            thread_stats: sim.stats().threads.clone(),
+        }
+    }
+
+    /// The single-thread reference IPC of `bench` on this hardware
+    /// (ICOUNT policy), cached across calls.
+    pub fn single_thread_ipc(&mut self, bench: Benchmark) -> f64 {
+        let key = (bench, self.run.seed);
+        if let Some(&ipc) = self.st_cache.get(&key) {
+            return ipc;
+        }
+        let mut sim = self.build_sim(&[bench], PolicyKind::Icount, self.run.seed);
+        sim.run_until_quota(self.run.warmup_insts, self.run.max_cycles);
+        sim.reset_stats();
+        sim.run_until_quota(self.run.insts_per_thread, self.run.max_cycles);
+        let ipc = sim.stats().thread_ipc(0);
+        self.st_cache.insert(key, ipc);
+        ipc
+    }
+
+    /// Equation 2 fairness for a mix result, using cached ST references.
+    ///
+    /// Note: a mix's thread `i` is generated with seed `seed + i`, while
+    /// the ST reference uses seed `seed`; synthetic programs are
+    /// statistically stationary so the seed offset does not bias the
+    /// reference.
+    pub fn fairness(&mut self, result: &MixResult) -> f64 {
+        let st: Vec<f64> = result
+            .mix
+            .benchmarks
+            .iter()
+            .map(|&b| self.single_thread_ipc(b))
+            .collect();
+        metrics::fairness_from_ipcs(&result.ipcs, &st)
+    }
+
+    /// Runs every mix of a slice under `policy` and averages the metrics.
+    pub fn run_group(&mut self, mixes: &[Mix], policy: PolicyKind) -> GroupSummary {
+        assert!(!mixes.is_empty(), "empty mix group");
+        let mut sum = GroupSummary::default();
+        for mix in mixes {
+            let r = self.run_mix(mix, policy);
+            sum.throughput += r.throughput();
+            sum.fairness += self.fairness(&r);
+            sum.ed2 += r.ed2();
+            sum.mixes += 1;
+        }
+        let n = sum.mixes as f64;
+        sum.throughput /= n;
+        sum.fairness /= n;
+        sum.ed2 /= n;
+        sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rat_workload::{mixes_for_group, WorkloadGroup};
+
+    fn quick() -> RunConfig {
+        RunConfig {
+            insts_per_thread: 4_000,
+            warmup_insts: 2_000,
+            max_cycles: 50_000_000,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn run_mix_produces_sane_result() {
+        let mut runner = Runner::new(SmtConfig::hpca2008_baseline(), quick());
+        let mix = &mixes_for_group(WorkloadGroup::Ilp2)[0];
+        let r = runner.run_mix(mix, PolicyKind::Icount);
+        assert!(r.complete);
+        assert_eq!(r.ipcs.len(), 2);
+        assert!(r.throughput() > 0.3, "ILP2 throughput {:.3}", r.throughput());
+        assert!(r.executed_insts >= 8_000);
+    }
+
+    #[test]
+    fn st_cache_is_stable() {
+        let mut runner = Runner::new(SmtConfig::hpca2008_baseline(), quick());
+        let a = runner.single_thread_ipc(Benchmark::Gzip);
+        let b = runner.single_thread_ipc(Benchmark::Gzip);
+        assert_eq!(a, b);
+        assert!(a > 0.3, "gzip ST IPC {a} (short cold window)");
+    }
+
+    #[test]
+    fn fairness_bounded_for_ilp_mix() {
+        let mut runner = Runner::new(SmtConfig::hpca2008_baseline(), quick());
+        let mix = &mixes_for_group(WorkloadGroup::Ilp2)[0];
+        let r = runner.run_mix(mix, PolicyKind::Icount);
+        let f = runner.fairness(&r);
+        assert!(f > 0.1 && f < 1.2, "fairness {f}");
+    }
+
+    #[test]
+    fn changing_hardware_clears_st_cache() {
+        let mut runner = Runner::new(SmtConfig::hpca2008_baseline(), quick());
+        let _ = runner.single_thread_ipc(Benchmark::Gzip);
+        runner.smt_config_mut().int_regs = 256;
+        assert!(runner.st_cache.is_empty());
+    }
+}

@@ -1,0 +1,314 @@
+//! Sparse 64-bit data memory with an undo log for runahead rollback.
+
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u64 = 12;
+const PAGE_BYTES: usize = 1 << PAGE_SHIFT;
+const PAGE_WORDS: usize = PAGE_BYTES / 8;
+
+/// Opaque marker returned by [`SparseMemory::begin_undo`], consumed by
+/// [`SparseMemory::rollback`] or [`SparseMemory::commit_undo`]. Prevents
+/// unbalanced rollback calls at compile time.
+#[derive(Debug)]
+pub struct UndoToken {
+    depth: usize,
+}
+
+/// A sparse, page-granular simulated data memory.
+///
+/// * addresses are 64-bit, accesses are 8-byte aligned 64-bit words;
+/// * unwritten memory reads as zero;
+/// * an undo log can be opened around a speculative (runahead) episode and
+///   rolled back exactly, restoring every overwritten word.
+///
+/// # Example
+///
+/// ```
+/// use rat_isa::SparseMemory;
+///
+/// let mut m = SparseMemory::new();
+/// m.write_u64(0x1000, 7);
+/// let tok = m.begin_undo();
+/// m.write_u64(0x1000, 99);
+/// m.rollback(tok);
+/// assert_eq!(m.read_u64(0x1000), 7);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SparseMemory {
+    pages: HashMap<u64, Box<[u64; PAGE_WORDS]>>,
+    undo: Vec<(u64, u64)>,
+    undo_active: bool,
+    journal: std::collections::VecDeque<(u64, u64, u64)>,
+    journal_enabled: bool,
+    journal_seq: u64,
+}
+
+impl SparseMemory {
+    /// Creates an empty memory (all zeros).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    fn split(addr: u64) -> (u64, usize) {
+        debug_assert_eq!(addr % 8, 0, "misaligned 64-bit access at {addr:#x}");
+        (addr >> PAGE_SHIFT, ((addr as usize) & (PAGE_BYTES - 1)) / 8)
+    }
+
+    /// Reads the 64-bit word at `addr` (must be 8-byte aligned).
+    #[inline]
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        let (page, word) = Self::split(addr);
+        self.pages.get(&page).map_or(0, |p| p[word])
+    }
+
+    /// Writes the 64-bit word at `addr` (must be 8-byte aligned). If an undo
+    /// log is active, the previous value is recorded.
+    #[inline]
+    pub fn write_u64(&mut self, addr: u64, value: u64) {
+        let (page, word) = Self::split(addr);
+        let p = self
+            .pages
+            .entry(page)
+            .or_insert_with(|| Box::new([0u64; PAGE_WORDS]));
+        if self.undo_active {
+            self.undo.push((addr, p[word]));
+        }
+        if self.journal_enabled {
+            self.journal.push_back((self.journal_seq, addr, p[word]));
+        }
+        p[word] = value;
+    }
+
+    /// Reads the word at `addr` as an IEEE-754 binary64 value.
+    #[inline]
+    pub fn read_f64(&self, addr: u64) -> f64 {
+        f64::from_bits(self.read_u64(addr))
+    }
+
+    /// Writes an IEEE-754 binary64 value at `addr`.
+    #[inline]
+    pub fn write_f64(&mut self, addr: u64, value: f64) {
+        self.write_u64(addr, value.to_bits());
+    }
+
+    /// Opens an undo log. All subsequent writes record their previous value
+    /// until [`rollback`](Self::rollback) or
+    /// [`commit_undo`](Self::commit_undo) is called with the returned token.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an undo log is already active (nesting is not supported:
+    /// a thread has at most one runahead episode in flight).
+    pub fn begin_undo(&mut self) -> UndoToken {
+        assert!(!self.undo_active, "undo log already active");
+        self.undo_active = true;
+        UndoToken {
+            depth: self.undo.len(),
+        }
+    }
+
+    /// Rolls back every write performed since the matching
+    /// [`begin_undo`](Self::begin_undo), restoring prior contents, and
+    /// closes the log.
+    pub fn rollback(&mut self, token: UndoToken) {
+        assert!(self.undo_active, "no undo log active");
+        while self.undo.len() > token.depth {
+            let (addr, old) = self.undo.pop().expect("undo entry");
+            let (page, word) = Self::split(addr);
+            if let Some(p) = self.pages.get_mut(&page) {
+                p[word] = old;
+            }
+        }
+        self.undo_active = false;
+    }
+
+    /// Closes the undo log keeping all writes (used when a speculative
+    /// episode is promoted rather than squashed — not used by runahead, but
+    /// provided for completeness and tested).
+    pub fn commit_undo(&mut self, token: UndoToken) {
+        assert!(self.undo_active, "no undo log active");
+        self.undo.truncate(token.depth);
+        self.undo_active = false;
+    }
+
+    /// Whether an undo log is currently active.
+    pub fn undo_active(&self) -> bool {
+        self.undo_active
+    }
+
+    /// Number of resident (touched) pages; useful for footprint assertions
+    /// in tests.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    // ---- sequence-tagged write journal ----
+    //
+    // The journal is the squash/rewind mechanism used by the SMT pipeline:
+    // every write is tagged with the dynamic instruction sequence number of
+    // the writer, entries retire (are dropped) when the writing store
+    // commits, and a pipeline squash rolls back every write younger than
+    // the squash point. Unlike the undo log it is always on and spans
+    // arbitrary instruction ranges.
+
+    /// Turns on the write journal. Subsequent writes record `(seq, addr,
+    /// previous value)` where `seq` was set by
+    /// [`journal_set_seq`](Self::journal_set_seq).
+    pub fn enable_journal(&mut self) {
+        self.journal_enabled = true;
+    }
+
+    /// Sets the sequence number attributed to subsequent writes (the
+    /// emulator calls this with the dynamic instruction index before each
+    /// step).
+    #[inline]
+    pub fn journal_set_seq(&mut self, seq: u64) {
+        self.journal_seq = seq;
+    }
+
+    /// Drops journal entries with `seq <= upto` (their writers committed;
+    /// the writes can no longer be rolled back).
+    pub fn journal_trim(&mut self, upto: u64) {
+        while let Some(&(seq, _, _)) = self.journal.front() {
+            if seq <= upto {
+                self.journal.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Rolls back (newest first) every journaled write with `seq >= from`,
+    /// removing the entries. Used when the pipeline squashes all
+    /// instructions at or after `from`.
+    pub fn journal_rollback(&mut self, from: u64) {
+        while let Some(&(seq, addr, old)) = self.journal.back() {
+            if seq >= from {
+                let (page, word) = Self::split(addr);
+                if let Some(p) = self.pages.get_mut(&page) {
+                    p[word] = old;
+                }
+                self.journal.pop_back();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Number of journaled (rollback-able) writes.
+    pub fn journal_len(&self) -> usize {
+        self.journal.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_initialized() {
+        let m = SparseMemory::new();
+        assert_eq!(m.read_u64(0), 0);
+        assert_eq!(m.read_u64(0xdead_beef_000), 0);
+        assert_eq!(m.resident_pages(), 0);
+    }
+
+    #[test]
+    fn read_after_write() {
+        let mut m = SparseMemory::new();
+        m.write_u64(0x10, 42);
+        m.write_u64(0x8000, 43);
+        assert_eq!(m.read_u64(0x10), 42);
+        assert_eq!(m.read_u64(0x8000), 43);
+        assert_eq!(m.read_u64(0x18), 0);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn f64_roundtrip() {
+        let mut m = SparseMemory::new();
+        m.write_f64(0x100, 3.5);
+        assert_eq!(m.read_f64(0x100), 3.5);
+    }
+
+    #[test]
+    fn rollback_restores_old_values() {
+        let mut m = SparseMemory::new();
+        m.write_u64(0x10, 1);
+        let tok = m.begin_undo();
+        assert!(m.undo_active());
+        m.write_u64(0x10, 2);
+        m.write_u64(0x10, 3);
+        m.write_u64(0x5000, 9); // untouched page before episode
+        m.rollback(tok);
+        assert_eq!(m.read_u64(0x10), 1);
+        assert_eq!(m.read_u64(0x5000), 0);
+        assert!(!m.undo_active());
+    }
+
+    #[test]
+    fn commit_keeps_new_values() {
+        let mut m = SparseMemory::new();
+        let tok = m.begin_undo();
+        m.write_u64(0x10, 2);
+        m.commit_undo(tok);
+        assert_eq!(m.read_u64(0x10), 2);
+        assert!(!m.undo_active());
+    }
+
+    #[test]
+    #[should_panic(expected = "already active")]
+    fn nested_undo_panics() {
+        let mut m = SparseMemory::new();
+        let _t1 = m.begin_undo();
+        let _t2 = m.begin_undo();
+    }
+
+    #[test]
+    fn journal_rollback_restores_in_reverse() {
+        let mut m = SparseMemory::new();
+        m.enable_journal();
+        m.journal_set_seq(1);
+        m.write_u64(0x10, 1);
+        m.journal_set_seq(2);
+        m.write_u64(0x10, 2);
+        m.journal_set_seq(3);
+        m.write_u64(0x20, 3);
+        assert_eq!(m.journal_len(), 3);
+        m.journal_rollback(2);
+        assert_eq!(m.read_u64(0x10), 1);
+        assert_eq!(m.read_u64(0x20), 0);
+        assert_eq!(m.journal_len(), 1);
+        m.journal_rollback(0);
+        assert_eq!(m.read_u64(0x10), 0);
+    }
+
+    #[test]
+    fn journal_trim_drops_committed_writes() {
+        let mut m = SparseMemory::new();
+        m.enable_journal();
+        for s in 1..=5u64 {
+            m.journal_set_seq(s);
+            m.write_u64(0x10 + s * 8, s);
+        }
+        m.journal_trim(3);
+        assert_eq!(m.journal_len(), 2);
+        // Rolling back past trimmed entries leaves committed writes alone.
+        m.journal_rollback(0);
+        assert_eq!(m.read_u64(0x18), 1);
+        assert_eq!(m.read_u64(0x30), 0);
+    }
+
+    #[test]
+    fn undo_reusable_after_rollback() {
+        let mut m = SparseMemory::new();
+        let t1 = m.begin_undo();
+        m.write_u64(0, 1);
+        m.rollback(t1);
+        let t2 = m.begin_undo();
+        m.write_u64(0, 2);
+        m.rollback(t2);
+        assert_eq!(m.read_u64(0), 0);
+    }
+}

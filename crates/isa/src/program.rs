@@ -1,0 +1,178 @@
+//! Programs and program counters.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::inst::Instruction;
+
+/// A program counter: an absolute index into a [`Program`]'s instruction
+/// list. Each instruction occupies 4 bytes in the simulated instruction
+/// address space (see [`Pc::byte_addr`]), which is what the I-cache sees.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Debug)]
+pub struct Pc(u32);
+
+impl Pc {
+    /// Creates a PC from an instruction index.
+    #[inline]
+    pub fn new(index: u32) -> Self {
+        Pc(index)
+    }
+
+    /// The instruction index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The PC of the next sequential instruction.
+    #[inline]
+    pub fn next(self) -> Pc {
+        Pc(self.0 + 1)
+    }
+
+    /// The byte address of this instruction in the simulated instruction
+    /// address space (4 bytes per instruction).
+    #[inline]
+    pub fn byte_addr(self) -> u64 {
+        (self.0 as u64) * 4
+    }
+}
+
+impl fmt::Display for Pc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+/// An immutable program: a flat list of instructions with an entry point.
+///
+/// Programs are cheap to clone (`Arc` inside) so that many simulated thread
+/// contexts can share the same static code.
+#[derive(Clone, Debug)]
+pub struct Program {
+    code: Arc<[Instruction]>,
+    entry: Pc,
+    name: Arc<str>,
+}
+
+impl Program {
+    /// Creates a program starting at instruction index 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code` is empty or any control-flow target is out of range.
+    pub fn new(code: Vec<Instruction>) -> Self {
+        Self::with_entry(code, Pc::new(0), "anonymous")
+    }
+
+    /// Creates a named program with an explicit entry point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code` is empty, `entry` is out of range, or any
+    /// control-flow target is out of range.
+    pub fn with_entry(code: Vec<Instruction>, entry: Pc, name: &str) -> Self {
+        assert!(!code.is_empty(), "program must contain at least one instruction");
+        assert!(entry.index() < code.len(), "entry point out of range");
+        for (i, inst) in code.iter().enumerate() {
+            let target = match inst {
+                Instruction::Branch { target, .. } | Instruction::Jump { target } => Some(*target),
+                _ => None,
+            };
+            if let Some(t) = target {
+                assert!(
+                    t.index() < code.len(),
+                    "instruction {i} targets out-of-range pc {t}"
+                );
+            }
+        }
+        Program {
+            code: code.into(),
+            entry,
+            name: name.into(),
+        }
+    }
+
+    /// The program's entry point.
+    #[inline]
+    pub fn entry(&self) -> Pc {
+        self.entry
+    }
+
+    /// The program's name (used in reports).
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of static instructions.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Whether the program is empty (never true for a constructed program).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+
+    /// Fetches the instruction at `pc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc` is past the end of the program. Well-formed programs
+    /// end in a backward jump, so the emulator never runs off the end.
+    #[inline]
+    pub fn fetch(&self, pc: Pc) -> Instruction {
+        self.code[pc.index()]
+    }
+
+    /// Iterates over the static instructions in program order.
+    pub fn iter(&self) -> impl Iterator<Item = &Instruction> {
+        self.code.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Instruction;
+
+    #[test]
+    fn pc_arithmetic() {
+        let pc = Pc::new(10);
+        assert_eq!(pc.next().index(), 11);
+        assert_eq!(pc.byte_addr(), 40);
+    }
+
+    #[test]
+    fn program_fetch() {
+        let p = Program::new(vec![Instruction::Nop, Instruction::jump(0)]);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.fetch(Pc::new(0)), Instruction::Nop);
+        assert_eq!(p.entry().index(), 0);
+        assert!(!p.is_empty());
+        assert_eq!(p.iter().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one instruction")]
+    fn empty_program_panics() {
+        Program::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-range")]
+    fn out_of_range_target_panics() {
+        Program::new(vec![Instruction::jump(7)]);
+    }
+
+    #[test]
+    fn programs_share_code() {
+        let p = Program::new(vec![Instruction::Nop, Instruction::jump(0)]);
+        let q = p.clone();
+        assert_eq!(q.len(), p.len());
+        assert_eq!(q.name(), "anonymous");
+    }
+}

@@ -1,0 +1,190 @@
+//! Architectural register names.
+
+use std::fmt;
+
+/// Number of integer architectural registers (`r0`..`r31`).
+pub const NUM_INT_ARCH_REGS: usize = 32;
+/// Number of floating-point architectural registers (`f0`..`f31`).
+pub const NUM_FP_ARCH_REGS: usize = 32;
+
+/// An integer architectural register.
+///
+/// `r0` ([`IntReg::ZERO`]) always reads as zero and ignores writes, like the
+/// Alpha/MIPS/RISC-V zero register.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IntReg(u8);
+
+impl IntReg {
+    /// The hard-wired zero register.
+    pub const ZERO: IntReg = IntReg(0);
+
+    /// Creates an integer register name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    #[inline]
+    pub fn new(index: u8) -> Self {
+        assert!(
+            (index as usize) < NUM_INT_ARCH_REGS,
+            "integer register index {index} out of range"
+        );
+        IntReg(index)
+    }
+
+    /// The register's index in `0..32`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is the hard-wired zero register.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Debug for IntReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Display for IntReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A floating-point architectural register.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FpReg(u8);
+
+impl FpReg {
+    /// Creates a floating-point register name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    #[inline]
+    pub fn new(index: u8) -> Self {
+        assert!(
+            (index as usize) < NUM_FP_ARCH_REGS,
+            "fp register index {index} out of range"
+        );
+        FpReg(index)
+    }
+
+    /// The register's index in `0..32`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for FpReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+impl fmt::Display for FpReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// Either kind of architectural register, used by the renamer and the
+/// runahead INV-bit tracking, which treat the two classes uniformly.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ArchReg {
+    /// An integer register.
+    Int(IntReg),
+    /// A floating-point register.
+    Fp(FpReg),
+}
+
+impl ArchReg {
+    /// A flat index in `0..64` (integer registers first), convenient for
+    /// bit-vector storage.
+    #[inline]
+    pub fn flat_index(self) -> usize {
+        match self {
+            ArchReg::Int(r) => r.index(),
+            ArchReg::Fp(r) => NUM_INT_ARCH_REGS + r.index(),
+        }
+    }
+
+    /// Whether the register is an integer register.
+    #[inline]
+    pub fn is_int(self) -> bool {
+        matches!(self, ArchReg::Int(_))
+    }
+}
+
+impl From<IntReg> for ArchReg {
+    fn from(r: IntReg) -> Self {
+        ArchReg::Int(r)
+    }
+}
+
+impl From<FpReg> for ArchReg {
+    fn from(r: FpReg) -> Self {
+        ArchReg::Fp(r)
+    }
+}
+
+impl fmt::Display for ArchReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchReg::Int(r) => write!(f, "{r}"),
+            ArchReg::Fp(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_reg_roundtrip() {
+        for i in 0..32u8 {
+            assert_eq!(IntReg::new(i).index(), i as usize);
+        }
+    }
+
+    #[test]
+    fn zero_reg_is_zero() {
+        assert!(IntReg::ZERO.is_zero());
+        assert!(!IntReg::new(1).is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn int_reg_out_of_range_panics() {
+        IntReg::new(32);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn fp_reg_out_of_range_panics() {
+        FpReg::new(99);
+    }
+
+    #[test]
+    fn flat_index_partitions_classes() {
+        assert_eq!(ArchReg::Int(IntReg::new(5)).flat_index(), 5);
+        assert_eq!(ArchReg::Fp(FpReg::new(5)).flat_index(), 37);
+        assert!(ArchReg::Int(IntReg::new(31)).flat_index() < NUM_INT_ARCH_REGS);
+        assert_eq!(ArchReg::Fp(FpReg::new(31)).flat_index(), 63);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(IntReg::new(7).to_string(), "r7");
+        assert_eq!(FpReg::new(3).to_string(), "f3");
+        assert_eq!(ArchReg::from(IntReg::new(7)).to_string(), "r7");
+    }
+}

@@ -1,0 +1,383 @@
+//! The two-level hierarchy protocol: L1 (I or D) → shared L2 → memory.
+
+use crate::cache::{Cache, CacheConfig, CacheStats, Probe};
+use crate::Cycle;
+
+/// The kind of access being performed, for stats attribution and to decide
+/// whether a rejection matters (prefetches may simply be dropped).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Instruction fetch through the I-cache.
+    InstFetch,
+    /// Demand data load.
+    Load,
+    /// Store address access (write-allocate).
+    Store,
+    /// Speculative prefetch (runahead). Fills caches; nothing waits on it.
+    Prefetch,
+}
+
+/// The outcome of a hierarchy access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Cycle at which the data is available to the requester.
+    pub ready_at: Cycle,
+    /// Whether the L1 lookup hit (fill completed).
+    pub l1_hit: bool,
+    /// Whether the request was satisfied by the L2 (hit or in-flight fill
+    /// sourced from an L2 hit).
+    pub l2_hit: bool,
+    /// Whether the request ultimately waits on main memory. This is the
+    /// "long-latency load" trigger used by STALL/FLUSH/RaT.
+    pub l2_miss: bool,
+    /// Whether the request merged with an earlier in-flight miss.
+    pub merged: bool,
+    /// Whether the request was rejected for lack of MSHRs; the caller must
+    /// retry (demand) or drop (prefetch). No state was changed.
+    pub rejected: bool,
+}
+
+impl AccessResult {
+    fn rejected() -> Self {
+        AccessResult {
+            ready_at: 0,
+            l1_hit: false,
+            l2_hit: false,
+            l2_miss: false,
+            merged: false,
+            rejected: true,
+        }
+    }
+}
+
+/// Configuration of the full hierarchy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HierarchyConfig {
+    /// L1 instruction cache geometry.
+    pub icache: CacheConfig,
+    /// L1 data cache geometry.
+    pub dcache: CacheConfig,
+    /// Unified L2 geometry.
+    pub l2: CacheConfig,
+    /// Main memory latency in cycles (Table 1: 400).
+    pub memory_latency: Cycle,
+    /// MSHRs kept free for demand traffic when a speculative
+    /// (prefetch/runahead) miss asks for one, so speculation never starves
+    /// demand misses.
+    pub prefetch_mshr_reserve: usize,
+}
+
+impl HierarchyConfig {
+    /// The exact Table 1 memory subsystem.
+    pub fn hpca2008_baseline() -> Self {
+        HierarchyConfig {
+            icache: CacheConfig::hpca2008_icache(),
+            dcache: CacheConfig::hpca2008_dcache(),
+            l2: CacheConfig::hpca2008_l2(),
+            memory_latency: 400,
+            prefetch_mshr_reserve: 8,
+        }
+    }
+}
+
+/// The simulated memory hierarchy shared by all SMT threads.
+///
+/// Thread isolation/contention: callers tag addresses with the thread id in
+/// high bits, so distinct threads' working sets conflict in these shared
+/// caches exactly as distinct address spaces would.
+#[derive(Clone, Debug)]
+pub struct Hierarchy {
+    icache: Cache,
+    dcache: Cache,
+    l2: Cache,
+    memory_latency: Cycle,
+    prefetch_reserve: usize,
+    mem_accesses: u64,
+}
+
+impl Hierarchy {
+    /// Builds the hierarchy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cache configuration is inconsistent (see
+    /// [`Cache::new`]).
+    pub fn new(cfg: HierarchyConfig) -> Self {
+        Hierarchy {
+            icache: Cache::new(cfg.icache),
+            dcache: Cache::new(cfg.dcache),
+            l2: Cache::new(cfg.l2),
+            memory_latency: cfg.memory_latency,
+            prefetch_reserve: cfg.prefetch_mshr_reserve,
+            mem_accesses: 0,
+        }
+    }
+
+    /// I-cache stats.
+    pub fn icache_stats(&self) -> &CacheStats {
+        self.icache.stats()
+    }
+
+    /// D-cache stats.
+    pub fn dcache_stats(&self) -> &CacheStats {
+        self.dcache.stats()
+    }
+
+    /// L2 stats.
+    pub fn l2_stats(&self) -> &CacheStats {
+        self.l2.stats()
+    }
+
+    /// Total requests that went to main memory.
+    pub fn memory_accesses(&self) -> u64 {
+        self.mem_accesses
+    }
+
+    /// Instruction fetch at `addr` (already thread-tagged).
+    pub fn fetch_access(&mut self, addr: u64, now: Cycle) -> AccessResult {
+        self.level_access(addr, AccessKind::InstFetch, now)
+    }
+
+    /// Data access at `addr` (already thread-tagged).
+    pub fn data_access(&mut self, addr: u64, kind: AccessKind, now: Cycle) -> AccessResult {
+        debug_assert!(kind != AccessKind::InstFetch, "use fetch_access for ifetch");
+        self.level_access(addr, kind, now)
+    }
+
+    /// Probes the D-cache only, without filling on a miss. Returns the
+    /// data-ready cycle on a hit (or in-flight fill), `None` on a miss.
+    /// This models the NoPrefetch runahead ablation of the paper (§6.1):
+    /// runahead loads may not access the L2 or memory.
+    pub fn l1_data_probe(&mut self, addr: u64, now: Cycle) -> Option<Cycle> {
+        let latency = self.dcache.config().latency;
+        match self.dcache.probe(addr, now) {
+            Probe::Hit => Some(now + latency),
+            Probe::InFlight(ready, _) => Some(ready.max(now) + latency),
+            Probe::Miss => None,
+        }
+    }
+
+    /// Number of in-flight L1D misses at `now` — DCRA uses this to classify
+    /// threads as fast/slow (here exposed globally; the pipeline tracks the
+    /// per-thread breakdown).
+    pub fn dcache_outstanding(&mut self, now: Cycle) -> usize {
+        self.dcache.outstanding_misses(now)
+    }
+
+    fn level_access(&mut self, addr: u64, kind: AccessKind, now: Cycle) -> AccessResult {
+        let is_fetch = kind == AccessKind::InstFetch;
+        let l1 = if is_fetch { &mut self.icache } else { &mut self.dcache };
+        let l1_latency = l1.config().latency;
+
+        match l1.probe(addr, now) {
+            Probe::Hit => {
+                if kind == AccessKind::Prefetch {
+                    l1.stats_mut().prefetches += 1;
+                }
+                return AccessResult {
+                    ready_at: now + l1_latency,
+                    l1_hit: true,
+                    l2_hit: false,
+                    l2_miss: false,
+                    merged: false,
+                    rejected: false,
+                };
+            }
+            Probe::InFlight(ready, from_l2_miss) => {
+                // Merge with the in-flight fill. The request still counts as
+                // a long-latency (L2) miss if a substantial memory wait
+                // remains; a fill that is about to land behaves like an L2
+                // hit for policy purposes.
+                let l2_latency = self.l2.config().latency;
+                let long = from_l2_miss && ready.saturating_sub(now) > l2_latency + l1_latency;
+                return AccessResult {
+                    ready_at: ready.max(now) + l1_latency,
+                    l1_hit: false,
+                    l2_hit: !long,
+                    l2_miss: long,
+                    merged: true,
+                    rejected: false,
+                };
+            }
+            Probe::Miss => {}
+        }
+
+        // L1 miss: need an L1 MSHR to track the fill. Speculative misses
+        // must leave headroom for demand misses.
+        let reserve = if kind == AccessKind::Prefetch {
+            self.prefetch_reserve
+        } else {
+            0
+        };
+        if !l1.mshr_available_with_reserve(now, reserve) {
+            l1.stats_mut().rejected += 1;
+            return AccessResult::rejected();
+        }
+
+        let l2_latency = self.l2.config().latency;
+        let (fill_ready, from_l2_miss, l2_hit, merged) = match self.l2.probe(addr, now) {
+            Probe::Hit => (now + l1_latency + l2_latency, false, true, false),
+            Probe::InFlight(ready, from_mem) => {
+                let long = from_mem && ready.saturating_sub(now) > l2_latency;
+                (ready.max(now) + l1_latency, long, !long, true)
+            }
+            Probe::Miss => {
+                if !self.l2.mshr_available_with_reserve(now, reserve) {
+                    self.l2.stats_mut().rejected += 1;
+                    // The L1 probe consumed stats but installed nothing;
+                    // reject the whole access.
+                    return AccessResult::rejected();
+                }
+                self.mem_accesses += 1;
+                let ready = now + l1_latency + l2_latency + self.memory_latency;
+                self.l2.fill(addr, ready, true, now);
+                (ready, true, false, false)
+            }
+        };
+
+        let l1 = if is_fetch { &mut self.icache } else { &mut self.dcache };
+        l1.fill(addr, fill_ready, from_l2_miss, now);
+        if kind == AccessKind::Prefetch {
+            l1.stats_mut().prefetches += 1;
+        }
+
+        AccessResult {
+            ready_at: fill_ready,
+            l1_hit: false,
+            l2_hit,
+            l2_miss: from_l2_miss,
+            merged,
+            rejected: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Hierarchy {
+        Hierarchy::new(HierarchyConfig {
+            icache: CacheConfig {
+                size_bytes: 1024,
+                ways: 2,
+                line_bytes: 64,
+                latency: 1,
+                mshrs: 2,
+            },
+            dcache: CacheConfig {
+                size_bytes: 1024,
+                ways: 2,
+                line_bytes: 64,
+                latency: 3,
+                mshrs: 2,
+            },
+            l2: CacheConfig {
+                size_bytes: 8192,
+                ways: 4,
+                line_bytes: 64,
+                latency: 20,
+                mshrs: 4,
+            },
+            memory_latency: 400,
+            prefetch_mshr_reserve: 1,
+        })
+    }
+
+    #[test]
+    fn cold_load_goes_to_memory() {
+        let mut h = small();
+        let r = h.data_access(0x1000, AccessKind::Load, 0);
+        assert!(r.l2_miss && !r.l1_hit && !r.l2_hit && !r.rejected);
+        assert_eq!(r.ready_at, 3 + 20 + 400);
+        assert_eq!(h.memory_accesses(), 1);
+    }
+
+    #[test]
+    fn second_load_merges() {
+        let mut h = small();
+        let first = h.data_access(0x1000, AccessKind::Load, 0);
+        let second = h.data_access(0x1008, AccessKind::Load, 5);
+        assert!(second.merged);
+        assert!(second.l2_miss, "large remaining wait still counts as L2 miss");
+        assert!(second.ready_at >= first.ready_at);
+        assert_eq!(h.memory_accesses(), 1);
+    }
+
+    #[test]
+    fn hit_after_fill_completes() {
+        let mut h = small();
+        let first = h.data_access(0x1000, AccessKind::Load, 0);
+        let hit = h.data_access(0x1000, AccessKind::Load, first.ready_at + 1);
+        assert!(hit.l1_hit);
+        assert_eq!(hit.ready_at, first.ready_at + 1 + 3);
+    }
+
+    #[test]
+    fn l2_hit_after_l1_eviction() {
+        let mut h = small();
+        let f = h.data_access(0x1000, AccessKind::Load, 0);
+        let t = f.ready_at + 1;
+        // Two more lines mapping to the same L1 set (1KB/2w/64B = 8 sets,
+        // set stride 512B) evict 0x1000 from L1 but not from L2.
+        let a = h.data_access(0x1000 + 512, AccessKind::Load, t);
+        let b = h.data_access(0x1000 + 1024, AccessKind::Load, t);
+        let t2 = a.ready_at.max(b.ready_at) + 1;
+        let r = h.data_access(0x1000, AccessKind::Load, t2);
+        assert!(!r.l1_hit && r.l2_hit && !r.l2_miss);
+        assert_eq!(r.ready_at, t2 + 3 + 20);
+    }
+
+    #[test]
+    fn mshr_exhaustion_rejects() {
+        let mut h = small();
+        assert!(!h.data_access(0x0000, AccessKind::Load, 0).rejected);
+        assert!(!h.data_access(0x2000, AccessKind::Load, 0).rejected);
+        let r = h.data_access(0x4000, AccessKind::Load, 0);
+        assert!(r.rejected, "third concurrent L1D miss must be rejected");
+        // After the fills land, new misses are accepted again.
+        let r2 = h.data_access(0x4000, AccessKind::Load, 1000);
+        assert!(!r2.rejected);
+    }
+
+    #[test]
+    fn prefetch_fills_for_later_demand() {
+        let mut h = small();
+        let p = h.data_access(0x6000, AccessKind::Prefetch, 0);
+        assert!(p.l2_miss);
+        let d = h.data_access(0x6000, AccessKind::Load, p.ready_at);
+        assert!(d.l1_hit, "demand access after prefetch fill must hit");
+        assert_eq!(h.dcache_stats().prefetches, 1);
+    }
+
+    #[test]
+    fn ifetch_uses_icache() {
+        let mut h = small();
+        let r = h.fetch_access(0x100, 0);
+        assert!(r.l2_miss);
+        assert_eq!(h.icache_stats().misses, 1);
+        assert_eq!(h.dcache_stats().accesses, 0);
+        let again = h.fetch_access(0x100, r.ready_at);
+        assert!(again.l1_hit);
+        assert_eq!(again.ready_at, r.ready_at + 1);
+    }
+
+    #[test]
+    fn near_complete_merge_counts_as_l2_hit() {
+        let mut h = small();
+        let f = h.data_access(0x1000, AccessKind::Load, 0);
+        // 10 cycles before the fill lands, the remaining wait is small.
+        let r = h.data_access(0x1000, AccessKind::Load, f.ready_at - 10);
+        assert!(r.merged && !r.l2_miss);
+    }
+
+    #[test]
+    fn thread_tagged_addresses_do_not_collide() {
+        let mut h = small();
+        let t0 = 0x1000u64;
+        let t1 = (1u64 << 44) | 0x1000;
+        let f = h.data_access(t0, AccessKind::Load, 0);
+        let g = h.data_access(t1, AccessKind::Load, f.ready_at);
+        assert!(g.l2_miss, "same vaddr in another thread is a distinct line");
+    }
+}

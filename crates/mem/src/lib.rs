@@ -1,0 +1,40 @@
+//! # rat-mem — simulated memory hierarchy
+//!
+//! Timing model of the memory subsystem from Table 1 of the paper:
+//!
+//! | level | default | latency |
+//! |-------|---------|---------|
+//! | I-cache | 64 KB, 4-way, 64 B lines | 1 cycle (pipelined) |
+//! | D-cache | 64 KB, 4-way, 64 B lines | 3 cycles |
+//! | L2 (unified, shared) | 1 MB, 8-way, 64 B lines | 20 cycles |
+//! | main memory | — | 400 cycles |
+//!
+//! The model is *latency-accurate and MSHR-limited* rather than
+//! event-driven: a miss installs its line immediately with a
+//! `valid_from` fill timestamp, and any later access to an in-flight line
+//! merges with it (returning the same completion time) instead of
+//! allocating a new miss. Outstanding misses are bounded by a per-cache
+//! MSHR count; when the MSHRs are full the access is *rejected* and the
+//! pipeline must retry, which is exactly how runahead's memory-level
+//! parallelism gets bounded in hardware.
+//!
+//! # Example
+//!
+//! ```
+//! use rat_mem::{Hierarchy, HierarchyConfig, AccessKind};
+//!
+//! let mut h = Hierarchy::new(HierarchyConfig::hpca2008_baseline());
+//! let first = h.data_access(0x4000, AccessKind::Load, 0);
+//! assert!(first.l2_miss); // cold miss goes to memory
+//! let again = h.data_access(0x4000, AccessKind::Load, first.ready_at);
+//! assert!(again.l1_hit); // the fill has landed
+//! ```
+
+mod cache;
+mod hierarchy;
+
+pub use cache::{Cache, CacheConfig, CacheStats, Probe};
+pub use hierarchy::{AccessKind, AccessResult, Hierarchy, HierarchyConfig};
+
+/// A simulation cycle count.
+pub type Cycle = u64;

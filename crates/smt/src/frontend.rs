@@ -1,0 +1,241 @@
+//! The per-thread execute-at-fetch oracle and retirement register file.
+//!
+//! Each hardware thread owns a functional [`Cpu`] that executes
+//! instructions *when the pipeline fetches them* — so every fetched
+//! instruction carries exact operand values, effective addresses and
+//! branch outcomes down the pipe. To support squashes (FLUSH policy,
+//! runahead exit), the thread also keeps a **retirement register file**
+//! (RRF): the architectural register values as of the last *committed*
+//! instruction, updated from recorded results at commit. Rewinding the
+//! oracle to any in-flight point is then: copy the RRF, replay the
+//! surviving in-flight results, roll back journaled memory writes, and
+//! reset the PC/sequence counter.
+
+use rat_isa::{Cpu, ExecRecord, FpReg, Instruction, IntReg, Pc, NUM_FP_ARCH_REGS, NUM_INT_ARCH_REGS};
+
+/// A thread's functional front end: fetch-time emulator + retirement
+/// register file.
+#[derive(Debug)]
+pub struct OracleThread {
+    cpu: Cpu,
+    rrf_int: [u64; NUM_INT_ARCH_REGS],
+    rrf_fp: [u64; NUM_FP_ARCH_REGS],
+    rrf_pc: Pc,
+    committed: u64,
+}
+
+impl OracleThread {
+    /// Wraps a prepared functional context (program + memory image +
+    /// planted registers). Enables the memory write journal.
+    pub fn new(mut cpu: Cpu) -> Self {
+        cpu.enable_journal();
+        let rrf_int = std::array::from_fn(|i| cpu.state().int_reg(IntReg::new(i as u8)));
+        let rrf_fp = std::array::from_fn(|i| cpu.state().fp_reg_bits(FpReg::new(i as u8)));
+        let rrf_pc = cpu.state().pc();
+        OracleThread {
+            cpu,
+            rrf_int,
+            rrf_fp,
+            rrf_pc,
+            committed: 0,
+        }
+    }
+
+    /// The PC the next fetch will execute.
+    #[inline]
+    pub fn fetch_pc(&self) -> Pc {
+        self.cpu.state().pc()
+    }
+
+    /// Functionally executes the instruction at the fetch PC.
+    #[inline]
+    pub fn fetch_step(&mut self) -> ExecRecord {
+        self.cpu.step()
+    }
+
+    /// Sequence number of the next instruction to be fetched.
+    #[inline]
+    pub fn next_seq(&self) -> u64 {
+        self.cpu.retired()
+    }
+
+    /// Sequence number of the next instruction to commit.
+    #[allow(dead_code)] // part of the intended API surface; used in tests
+    #[inline]
+    pub fn commit_seq(&self) -> u64 {
+        self.committed
+    }
+
+    /// Total committed instructions.
+    #[allow(dead_code)] // used by tests
+    #[inline]
+    pub fn committed(&self) -> u64 {
+        self.committed
+    }
+
+    /// The PC at the retirement point (where a full squash resumes).
+    #[allow(dead_code)] // used by tests
+    #[inline]
+    pub fn rrf_pc(&self) -> Pc {
+        self.rrf_pc
+    }
+
+    /// Applies a record's register write to a register-file image.
+    fn apply(
+        rec: &ExecRecord,
+        int: &mut [u64; NUM_INT_ARCH_REGS],
+        fp: &mut [u64; NUM_FP_ARCH_REGS],
+    ) {
+        let Some(result) = rec.result else { return };
+        match rec.inst {
+            Instruction::IntOp { dst, .. } | Instruction::Load { dst, .. } => {
+                if !dst.is_zero() {
+                    int[dst.index()] = result;
+                }
+            }
+            Instruction::FpOpInst { dst, .. } | Instruction::LoadFp { dst, .. } => {
+                fp[dst.index()] = result;
+            }
+            _ => {}
+        }
+    }
+
+    /// Commits one instruction: folds its recorded result into the RRF and
+    /// lets the memory journal forget its write (stores).
+    ///
+    /// # Panics
+    ///
+    /// Panics if records are committed out of order.
+    pub fn commit(&mut self, rec: &ExecRecord) {
+        assert_eq!(rec.seq, self.committed, "out-of-order commit");
+        Self::apply(rec, &mut self.rrf_int, &mut self.rrf_fp);
+        self.rrf_pc = rec.next_pc;
+        self.committed += 1;
+        if matches!(
+            rec.inst,
+            Instruction::Store { .. } | Instruction::StoreFp { .. }
+        ) {
+            self.cpu.memory_mut().journal_trim(rec.seq);
+        }
+    }
+
+    /// Rewinds the fetch oracle to just after the last record in `replay`
+    /// (or to the retirement point when `replay` is empty): registers are
+    /// rebuilt from the RRF plus the surviving in-flight results, all
+    /// memory writes of squashed instructions are rolled back, and the
+    /// fetch PC / sequence counter are reset.
+    ///
+    /// `replay` must be the thread's surviving in-flight records in
+    /// program order.
+    pub fn rewind(&mut self, replay: impl Iterator<Item = ExecRecord>) {
+        let mut int = self.rrf_int;
+        let mut fp = self.rrf_fp;
+        let mut resume_pc = self.rrf_pc;
+        let mut resume_seq = self.committed;
+        for rec in replay {
+            debug_assert_eq!(rec.seq, resume_seq, "replay gap");
+            Self::apply(&rec, &mut int, &mut fp);
+            resume_pc = rec.next_pc;
+            resume_seq = rec.seq + 1;
+        }
+        self.cpu.memory_mut().journal_rollback(resume_seq);
+        let st = self.cpu.state_mut();
+        for (i, v) in int.iter().enumerate() {
+            st.set_int_reg(IntReg::new(i as u8), *v);
+        }
+        for (i, v) in fp.iter().enumerate() {
+            st.set_fp_reg(FpReg::new(i as u8), f64::from_bits(*v));
+        }
+        st.set_pc(resume_pc);
+        self.cpu.set_retired(resume_seq);
+    }
+
+    /// Read access to the underlying functional context (tests).
+    #[allow(dead_code)]
+    pub fn cpu(&self) -> &Cpu {
+        &self.cpu
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rat_isa::{AluOp, Operand, Program};
+
+    fn counting_cpu() -> Cpu {
+        // r1 += 1; mem[0x100] = r1; forever
+        let prog = Program::new(vec![
+            Instruction::int_op(AluOp::Add, IntReg::new(1), IntReg::new(1), Operand::Imm(1)),
+            Instruction::store(IntReg::new(1), IntReg::new(2), 0),
+            Instruction::jump(0),
+        ]);
+        let mut cpu = Cpu::new(prog);
+        cpu.state_mut().set_int_reg(IntReg::new(2), 0x100);
+        cpu
+    }
+
+    #[test]
+    fn commit_tracks_rrf() {
+        let mut o = OracleThread::new(counting_cpu());
+        let r1 = o.fetch_step();
+        let r2 = o.fetch_step();
+        o.commit(&r1);
+        o.commit(&r2);
+        assert_eq!(o.committed(), 2);
+        assert_eq!(o.rrf_pc(), r2.next_pc);
+    }
+
+    #[test]
+    fn rewind_to_retirement_point() {
+        let mut o = OracleThread::new(counting_cpu());
+        // Fetch 6 instructions (2 loop iterations), commit only the first 3.
+        let recs: Vec<_> = (0..6).map(|_| o.fetch_step()).collect();
+        for r in &recs[..3] {
+            o.commit(r);
+        }
+        assert_eq!(o.cpu().state().int_reg(IntReg::new(1)), 2);
+        assert_eq!(o.cpu().memory().read_u64(0x100), 2);
+        // Squash everything in flight: back to the committed point.
+        o.rewind(std::iter::empty());
+        assert_eq!(o.cpu().state().int_reg(IntReg::new(1)), 1);
+        assert_eq!(o.cpu().memory().read_u64(0x100), 1, "squashed store undone");
+        assert_eq!(o.next_seq(), 3);
+        // Re-fetching reproduces the same records.
+        let again = o.fetch_step();
+        assert_eq!(again.seq, recs[3].seq);
+        assert_eq!(again.pc, recs[3].pc);
+        assert_eq!(again.result, recs[3].result);
+    }
+
+    #[test]
+    fn rewind_with_partial_replay() {
+        let mut o = OracleThread::new(counting_cpu());
+        let recs: Vec<_> = (0..9).map(|_| o.fetch_step()).collect();
+        o.commit(&recs[0]);
+        // Keep seqs 1..=4 in flight, squash 5..
+        o.rewind(recs[1..5].iter().copied());
+        assert_eq!(o.next_seq(), 5);
+        // r1 was incremented by seq 0 and seq 3 (adds at pc 0); value 2.
+        assert_eq!(o.cpu().state().int_reg(IntReg::new(1)), 2);
+        // The store at seq 4 survives; the one at seq 7 was rolled back.
+        assert_eq!(o.cpu().memory().read_u64(0x100), 2);
+        let next = o.fetch_step();
+        assert_eq!(next.seq, 5);
+        assert_eq!(next.pc, recs[5].pc);
+    }
+
+    #[test]
+    fn deterministic_refetch_after_many_rewinds() {
+        let mut o = OracleThread::new(counting_cpu());
+        let baseline: Vec<_> = (0..12).map(|_| o.fetch_step()).collect();
+        o.rewind(std::iter::empty());
+        for round in 0..3 {
+            let recs: Vec<_> = (0..12).map(|_| o.fetch_step()).collect();
+            for (a, b) in baseline.iter().zip(&recs) {
+                assert_eq!(a.result, b.result, "round {round}");
+                assert_eq!(a.pc, b.pc);
+            }
+            o.rewind(std::iter::empty());
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Issue queues: occupancy accounting, wakeup lists and age-ordered
+//! ready selection.
+//!
+//! The per-entry wait state lives in the ROB entry (`waiting` counter);
+//! this module owns (a) the occupancy counters that bound dispatch, (b)
+//! the physical-register wakeup lists, and (c) per-queue ready heaps that
+//! yield issuable instructions oldest-first.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::types::{IqKind, PhysReg, RegClass, ThreadId};
+
+/// A candidate for issue: global age stamp, thread, sequence number. The
+/// `gseq` both orders selection (oldest first) and invalidates stale
+/// candidates after squashes.
+pub type ReadyKey = (u64, ThreadId, u64);
+
+/// The three issue queues plus wakeup machinery.
+#[derive(Clone, Debug)]
+pub struct IssueQueues {
+    capacity: [usize; 3],
+    occupancy: [usize; 3],
+    per_thread: Vec<[usize; 3]>,
+    ready: [BinaryHeap<Reverse<ReadyKey>>; 3],
+    wake_int: Vec<Vec<(ThreadId, u64, u64)>>,
+    wake_fp: Vec<Vec<(ThreadId, u64, u64)>>,
+}
+
+impl IssueQueues {
+    /// Creates queues with the given capacities and wakeup lists sized for
+    /// the two register files.
+    pub fn new(capacity: [usize; 3], num_threads: usize, int_regs: usize, fp_regs: usize) -> Self {
+        IssueQueues {
+            capacity,
+            occupancy: [0; 3],
+            per_thread: vec![[0; 3]; num_threads],
+            ready: Default::default(),
+            wake_int: vec![Vec::new(); int_regs],
+            wake_fp: vec![Vec::new(); fp_regs],
+        }
+    }
+
+    /// Whether queue `kind` has a free slot.
+    pub fn has_space(&self, kind: IqKind) -> bool {
+        self.occupancy[kind.index()] < self.capacity[kind.index()]
+    }
+
+    /// Current occupancy of queue `kind`.
+    #[allow(dead_code)] // API completeness; used by unit tests
+    pub fn occupancy(&self, kind: IqKind) -> usize {
+        self.occupancy[kind.index()]
+    }
+
+    /// Entries thread `tid` holds in queue `kind` (ICOUNT / DCRA input).
+    pub fn thread_occupancy(&self, tid: ThreadId, kind: IqKind) -> usize {
+        self.per_thread[tid][kind.index()]
+    }
+
+    /// Total queue entries held by `tid` across all three queues.
+    pub fn thread_total(&self, tid: ThreadId) -> usize {
+        self.per_thread[tid].iter().sum()
+    }
+
+    /// Accounts an entry entering queue `kind` at dispatch.
+    pub fn insert(&mut self, kind: IqKind, tid: ThreadId) {
+        debug_assert!(self.has_space(kind), "issue queue overflow");
+        self.occupancy[kind.index()] += 1;
+        self.per_thread[tid][kind.index()] += 1;
+    }
+
+    /// Accounts an entry leaving queue `kind` (issue or squash).
+    pub fn remove(&mut self, kind: IqKind, tid: ThreadId) {
+        debug_assert!(self.occupancy[kind.index()] > 0);
+        debug_assert!(self.per_thread[tid][kind.index()] > 0);
+        self.occupancy[kind.index()] -= 1;
+        self.per_thread[tid][kind.index()] -= 1;
+    }
+
+    /// Registers a waiter: the instruction `(tid, seq, gseq)` needs
+    /// register `(class, p)` to become ready.
+    pub fn add_waiter(&mut self, class: RegClass, p: PhysReg, tid: ThreadId, seq: u64, gseq: u64) {
+        match class {
+            RegClass::Int => self.wake_int[p].push((tid, seq, gseq)),
+            RegClass::Fp => self.wake_fp[p].push((tid, seq, gseq)),
+        }
+    }
+
+    /// Drains the waiters of `(class, p)` — called when the register's
+    /// value is produced. The caller decrements each waiter's count and
+    /// requeues the ready ones.
+    pub fn take_waiters(&mut self, class: RegClass, p: PhysReg) -> Vec<(ThreadId, u64, u64)> {
+        match class {
+            RegClass::Int => std::mem::take(&mut self.wake_int[p]),
+            RegClass::Fp => std::mem::take(&mut self.wake_fp[p]),
+        }
+    }
+
+    /// Enqueues a ready-to-issue candidate.
+    pub fn push_ready(&mut self, kind: IqKind, gseq: u64, tid: ThreadId, seq: u64) {
+        self.ready[kind.index()].push(Reverse((gseq, tid, seq)));
+    }
+
+    /// Pops the oldest ready candidate of queue `kind`, if any. The caller
+    /// must validate the candidate against the ROB (it may have been
+    /// squashed).
+    pub fn pop_ready(&mut self, kind: IqKind) -> Option<ReadyKey> {
+        self.ready[kind.index()].pop().map(|Reverse(k)| k)
+    }
+
+    /// Number of pending ready candidates (including possibly-stale ones).
+    #[allow(dead_code)] // diagnostics
+    pub fn ready_len(&self, kind: IqKind) -> usize {
+        self.ready[kind.index()].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occupancy_tracks_insert_remove() {
+        let mut iq = IssueQueues::new([2, 2, 2], 2, 8, 8);
+        assert!(iq.has_space(IqKind::Int));
+        iq.insert(IqKind::Int, 0);
+        iq.insert(IqKind::Int, 1);
+        assert!(!iq.has_space(IqKind::Int));
+        assert_eq!(iq.thread_occupancy(0, IqKind::Int), 1);
+        assert_eq!(iq.thread_total(1), 1);
+        iq.remove(IqKind::Int, 0);
+        assert!(iq.has_space(IqKind::Int));
+    }
+
+    #[test]
+    fn ready_pops_oldest_first() {
+        let mut iq = IssueQueues::new([4, 4, 4], 1, 8, 8);
+        iq.push_ready(IqKind::Ls, 30, 0, 3);
+        iq.push_ready(IqKind::Ls, 10, 0, 1);
+        iq.push_ready(IqKind::Ls, 20, 0, 2);
+        assert_eq!(iq.pop_ready(IqKind::Ls).unwrap().0, 10);
+        assert_eq!(iq.pop_ready(IqKind::Ls).unwrap().0, 20);
+        assert_eq!(iq.pop_ready(IqKind::Ls).unwrap().0, 30);
+        assert!(iq.pop_ready(IqKind::Ls).is_none());
+    }
+
+    #[test]
+    fn waiters_drain_once() {
+        let mut iq = IssueQueues::new([4, 4, 4], 1, 8, 8);
+        iq.add_waiter(RegClass::Int, 3, 0, 7, 70);
+        iq.add_waiter(RegClass::Int, 3, 0, 8, 80);
+        iq.add_waiter(RegClass::Fp, 3, 0, 9, 90);
+        let int_waiters = iq.take_waiters(RegClass::Int, 3);
+        assert_eq!(int_waiters.len(), 2);
+        assert!(iq.take_waiters(RegClass::Int, 3).is_empty());
+        assert_eq!(iq.take_waiters(RegClass::Fp, 3).len(), 1);
+    }
+}

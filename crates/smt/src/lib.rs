@@ -1,0 +1,54 @@
+//! # rat-smt — the SMT out-of-order pipeline
+//!
+//! An execution-driven, cycle-level model of the SMT processor in Table 1
+//! of *Runahead Threads to Improve SMT Performance* (HPCA 2008):
+//!
+//! * 8-wide, 10-stage pipeline; ICOUNT-2.8-style fetch (up to 2 threads,
+//!   8 instructions per cycle);
+//! * shared 512-entry reorder buffer (a pool with per-thread program-order
+//!   queues, as in the paper's shared-ROB design);
+//! * 320 integer + 320 FP physical registers with renaming;
+//! * 64-entry INT/FP/LS issue queues; 6 INT, 3 FP, 4 LS units;
+//! * perceptron branch predictor; shared I/D/L2 cache hierarchy.
+//!
+//! On top of the pipeline it implements every resource-management scheme
+//! the paper evaluates:
+//!
+//! * fetch policies: round-robin, ICOUNT, STALL, FLUSH ([`PolicyKind`]);
+//! * dynamic resource control: DCRA and Hill Climbing;
+//! * **Runahead Threads (RaT)** — the paper's contribution — including the
+//!   Figure 4 ablation variants ([`RunaheadVariant`]).
+//!
+//! # Example
+//!
+//! ```
+//! use rat_smt::{SmtConfig, SmtSimulator, PolicyKind};
+//! use rat_workload::{Benchmark, ThreadImage};
+//!
+//! let mut cfg = SmtConfig::hpca2008_baseline();
+//! cfg.policy = PolicyKind::Rat;
+//! let cpus = vec![
+//!     ThreadImage::generate(Benchmark::Gzip, 1).build_cpu(),
+//!     ThreadImage::generate(Benchmark::Mcf, 2).build_cpu(),
+//! ];
+//! let mut sim = SmtSimulator::new(cfg, cpus);
+//! sim.run_until_quota(2_000, 1_000_000);
+//! assert!(sim.thread_stats(0).committed >= 2_000);
+//! ```
+
+mod config;
+mod frontend;
+mod iq;
+mod pipeline;
+mod policy;
+mod regfile;
+mod rename;
+mod rob;
+mod stats;
+mod types;
+
+pub use config::{RunaheadConfig, RunaheadVariant, SmtConfig};
+pub use pipeline::SmtSimulator;
+pub use policy::PolicyKind;
+pub use stats::{SimStats, ThreadStats};
+pub use types::{Cycle, ExecMode, IqKind, PhysReg, RegClass, ThreadId};

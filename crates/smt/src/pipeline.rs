@@ -1,0 +1,1718 @@
+//! The cycle-level SMT pipeline simulator.
+//!
+//! Stage order within a cycle (reverse pipeline order, standard for
+//! cycle-accurate models): complete → runahead exits → commit (and
+//! runahead entry) → issue → dispatch/rename → fetch → per-cycle policy
+//! and statistics updates.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+
+use rat_bpred::{GlobalHistory, PerceptronPredictor, Predictor};
+use rat_isa::{ArchReg, ExecRecord, Instruction, InstructionKind, Pc};
+use rat_mem::{AccessKind, Hierarchy};
+
+use crate::config::{RunaheadVariant, SmtConfig};
+use crate::frontend::OracleThread;
+use crate::iq::IssueQueues;
+use crate::policy::{dcra_caps, dcra_weight, HillState, PolicyKind};
+use crate::regfile::PhysRegFile;
+use crate::rename::RenameTables;
+use crate::rob::{EntryState, RobEntry, ThreadRob};
+use crate::stats::{SimStats, ThreadStats};
+use crate::types::{Cycle, ExecMode, IqKind, PhysReg, RegClass, ThreadId};
+
+/// An instruction sitting in a thread's fetch buffer.
+#[derive(Clone, Copy, Debug)]
+struct Fetched {
+    rec: ExecRecord,
+    predicted: Option<bool>,
+    mispredicted: bool,
+    hist_bits: u64,
+    ready_at: Cycle,
+}
+
+/// A live runahead episode.
+#[derive(Clone, Copy, Debug)]
+struct Episode {
+    trigger_seq: u64,
+    entered_at: Cycle,
+    exit_at: Cycle,
+}
+
+/// Per-thread microarchitectural state.
+struct Thread {
+    oracle: OracleThread,
+    frontend: VecDeque<Fetched>,
+    rob: ThreadRob,
+    mode: ExecMode,
+    episode: Option<Episode>,
+    diverged: bool,
+    /// Rename-time INV bits over architectural registers (flat index).
+    arch_inv: [bool; 64],
+    /// Registers allocated during (or in flight at the start of) the
+    /// current runahead episode.
+    episode_regs: Vec<(RegClass, PhysReg)>,
+    /// Fetch blocked until this cycle by an I-cache miss.
+    icache_wait: Cycle,
+    /// Fetch blocked by an unresolved mispredicted branch (its seq).
+    branch_gate: Option<u64>,
+    /// Fetch blocked until this cycle by STALL/FLUSH long-latency gating.
+    longlat_gate: Cycle,
+    /// In-flight store addresses (word-granular) for store→load forwarding.
+    store_addrs: HashMap<u64, u32>,
+    hist: GlobalHistory,
+    dmiss_inflight: usize,
+    fp_user: bool,
+    /// Loads seen (and suppressed) during NoPrefetch runahead: they do not
+    /// re-trigger runahead after recovery (paper §6.1).
+    no_retrigger: HashSet<u64>,
+    /// Runahead cache (§3.3, optional): word addresses written by runahead
+    /// stores whose *data* was INV. With the runahead cache enabled, later
+    /// runahead loads from these words observe the INV status; without it
+    /// they silently use stale values (the paper's default).
+    ra_inv_words: HashSet<u64>,
+}
+
+impl Thread {
+    fn icount(&self, iqs: &IssueQueues, tid: ThreadId) -> usize {
+        self.frontend.len() + iqs.thread_total(tid)
+    }
+}
+
+/// The SMT processor simulator. Construct with a configuration and one
+/// prepared functional [`rat_isa::Cpu`] per hardware context (see
+/// `rat_workload::ThreadImage::build_cpu`), then run cycles until the
+/// measurement quota is met.
+pub struct SmtSimulator {
+    cfg: SmtConfig,
+    threads: Vec<Thread>,
+    rename: Vec<RenameTables>,
+    int_rf: PhysRegFile,
+    fp_rf: PhysRegFile,
+    iqs: IssueQueues,
+    hier: Hierarchy,
+    pred: PerceptronPredictor,
+    completions: BinaryHeap<Reverse<(Cycle, ThreadId, u64, u64)>>,
+    now: Cycle,
+    gseq: u64,
+    rob_occupancy: usize,
+    commit_rr: usize,
+    dispatch_rr: usize,
+    fetch_rr: usize,
+    hill: Option<HillState>,
+    dcra_slow_weight: f64,
+    stats: SimStats,
+    last_progress: Cycle,
+}
+
+/// Result of attempting to issue one instruction.
+enum IssueOutcome {
+    Issued,
+    Retry,
+}
+
+impl SmtSimulator {
+    /// Builds a simulator over the given thread images.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no threads, more than 8, or the register files
+    /// are too small to hold every thread's architectural state (the paper
+    /// notes N threads need 32·N registers per file just for precise
+    /// state).
+    pub fn new(cfg: SmtConfig, cpus: Vec<rat_isa::Cpu>) -> Self {
+        cfg.validate();
+        let n = cpus.len();
+        assert!((1..=8).contains(&n), "1..=8 hardware threads supported");
+        assert!(
+            cfg.int_regs >= 32 * n && cfg.fp_regs >= 32 * n,
+            "register file too small for {n} threads' architectural state"
+        );
+
+        let mut int_rf = PhysRegFile::new(cfg.int_regs, n);
+        let mut fp_rf = PhysRegFile::new(cfg.fp_regs, n);
+        let mut rename = Vec::with_capacity(n);
+        let mut threads = Vec::with_capacity(n);
+        for (tid, cpu) in cpus.into_iter().enumerate() {
+            let init_int: [PhysReg; 32] = std::array::from_fn(|_| {
+                let p = int_rf.alloc(tid).expect("int regs for arch state");
+                int_rf.set_ready(p);
+                p
+            });
+            let init_fp: [PhysReg; 32] = std::array::from_fn(|_| {
+                let p = fp_rf.alloc(tid).expect("fp regs for arch state");
+                fp_rf.set_ready(p);
+                p
+            });
+            rename.push(RenameTables::new(init_int, init_fp));
+            threads.push(Thread {
+                oracle: OracleThread::new(cpu),
+                frontend: VecDeque::with_capacity(cfg.fetch_buffer),
+                rob: ThreadRob::new(),
+                mode: ExecMode::Normal,
+                episode: None,
+                diverged: false,
+                arch_inv: [false; 64],
+                episode_regs: Vec::new(),
+                icache_wait: 0,
+                branch_gate: None,
+                longlat_gate: 0,
+                store_addrs: HashMap::new(),
+                hist: GlobalHistory::new(),
+                dmiss_inflight: 0,
+                fp_user: false,
+                no_retrigger: HashSet::new(),
+                ra_inv_words: HashSet::new(),
+            });
+        }
+
+        let hill = if cfg.policy == PolicyKind::Hill {
+            Some(HillState::new(n, 4096, 0.05))
+        } else {
+            None
+        };
+
+        SmtSimulator {
+            iqs: IssueQueues::new(cfg.iq_size, n, cfg.int_regs, cfg.fp_regs),
+            hier: Hierarchy::new(cfg.hierarchy),
+            pred: PerceptronPredictor::new(cfg.bpred_table, cfg.bpred_history),
+            completions: BinaryHeap::new(),
+            now: 0,
+            gseq: 0,
+            rob_occupancy: 0,
+            commit_rr: 0,
+            dispatch_rr: 0,
+            fetch_rr: 0,
+            hill,
+            dcra_slow_weight: 4.0,
+            stats: SimStats {
+                cycles: 0,
+                cycles_at_reset: 0,
+                threads: vec![ThreadStats::default(); n],
+            },
+            last_progress: 0,
+            threads,
+            rename,
+            int_rf,
+            fp_rf,
+            cfg,
+        }
+    }
+
+    /// Number of hardware threads.
+    pub fn num_threads(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Elapsed cycles.
+    pub fn cycles(&self) -> Cycle {
+        self.now
+    }
+
+    /// All statistics.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// One thread's statistics.
+    pub fn thread_stats(&self, tid: ThreadId) -> &ThreadStats {
+        &self.stats.threads[tid]
+    }
+
+    /// The shared memory hierarchy (cache statistics).
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.hier
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SmtConfig {
+        &self.cfg
+    }
+
+    /// In-flight ROB entries of `tid` (diagnostics).
+    pub fn debug_rob_len(&self, tid: ThreadId) -> usize {
+        self.threads[tid].rob.len()
+    }
+
+    /// Issue-queue occupancy of `tid` in `kind` (diagnostics).
+    pub fn debug_iq_occ(&self, tid: ThreadId, kind: IqKind) -> usize {
+        self.iqs.thread_occupancy(tid, kind)
+    }
+
+    /// Integer registers held by `tid` (diagnostics).
+    pub fn debug_int_regs(&self, tid: ThreadId) -> usize {
+        self.int_rf.allocated(tid)
+    }
+
+    /// Zeroes measurement counters (end of warmup). Committed-instruction
+    /// baselines and the cycle base are recorded so quota and IPC windows
+    /// start here.
+    pub fn reset_stats(&mut self) {
+        self.stats.cycles_at_reset = self.now;
+        for (tid, t) in self.stats.threads.iter_mut().enumerate() {
+            let committed = t.committed;
+            *t = ThreadStats {
+                committed,
+                committed_at_reset: committed,
+                ..ThreadStats::default()
+            };
+            let _ = tid;
+        }
+    }
+
+    /// Runs until every thread has committed `quota` instructions since
+    /// the last stats reset, or `max_cycles` more cycles elapse. Returns
+    /// `true` if every thread met the quota (the FAME-like condition that
+    /// every thread is fully represented).
+    pub fn run_until_quota(&mut self, quota: u64, max_cycles: Cycle) -> bool {
+        let deadline = self.now + max_cycles;
+        loop {
+            self.cycle();
+            let mut all = true;
+            for tid in 0..self.threads.len() {
+                let ts = &mut self.stats.threads[tid];
+                if ts.quota_cycle.is_none() {
+                    if ts.committed_since_reset() >= quota {
+                        ts.quota_cycle = Some(self.now);
+                        ts.committed_at_quota = ts.committed;
+                    } else {
+                        all = false;
+                    }
+                }
+            }
+            if all {
+                return true;
+            }
+            if self.now >= deadline {
+                return false;
+            }
+        }
+    }
+
+    /// Advances the pipeline one cycle.
+    pub fn cycle(&mut self) {
+        self.now += 1;
+        self.stats.cycles = self.now;
+        self.process_completions();
+        self.process_runahead_exits();
+        self.commit_stage();
+        self.issue_stage();
+        self.dispatch_stage();
+        self.fetch_stage();
+        self.per_cycle_updates();
+        assert!(
+            self.now - self.last_progress < 200_000,
+            "pipeline deadlock: no commit for 200k cycles at cycle {} (rob occupancy {})",
+            self.now,
+            self.rob_occupancy
+        );
+    }
+
+    // ---- helpers ----
+
+    /// Thread-tags a per-thread virtual address so threads contend in the
+    /// shared caches without aliasing each other.
+    #[inline]
+    fn tag_addr(tid: ThreadId, addr: u64) -> u64 {
+        addr | (((tid as u64) + 1) << 44)
+    }
+
+    #[inline]
+    fn pred_key(tid: ThreadId, pc: Pc) -> u64 {
+        pc.byte_addr() ^ ((tid as u64).wrapping_mul(0x9E37_79B1) << 12)
+    }
+
+    fn iq_kind(kind: InstructionKind) -> Option<IqKind> {
+        match kind {
+            InstructionKind::IntAlu
+            | InstructionKind::IntMul
+            | InstructionKind::IntDiv
+            | InstructionKind::Branch => Some(IqKind::Int),
+            InstructionKind::FpAdd | InstructionKind::FpMul | InstructionKind::FpDiv => {
+                Some(IqKind::Fp)
+            }
+            InstructionKind::Load | InstructionKind::Store => Some(IqKind::Ls),
+            InstructionKind::Jump | InstructionKind::Nop => None,
+        }
+    }
+
+    fn exec_latency(kind: InstructionKind) -> Cycle {
+        match kind {
+            InstructionKind::IntAlu | InstructionKind::Branch => 1,
+            InstructionKind::IntMul => 3,
+            InstructionKind::IntDiv => 20,
+            InstructionKind::FpAdd | InstructionKind::FpMul => 4,
+            InstructionKind::FpDiv => 12,
+            _ => 1,
+        }
+    }
+
+    /// Architectural source registers of an instruction (r0 excluded —
+    /// it is constant and never renamed).
+    fn src_regs(inst: &Instruction) -> [Option<ArchReg>; 2] {
+        use rat_isa::Operand;
+        let int = |r: rat_isa::IntReg| {
+            if r.is_zero() {
+                None
+            } else {
+                Some(ArchReg::Int(r))
+            }
+        };
+        match *inst {
+            Instruction::IntOp { src1, src2, .. } => {
+                let s2 = match src2 {
+                    Operand::Reg(r) => int(r),
+                    Operand::Imm(_) => None,
+                };
+                [int(src1), s2]
+            }
+            Instruction::FpOpInst { src1, src2, .. } => {
+                [Some(ArchReg::Fp(src1)), Some(ArchReg::Fp(src2))]
+            }
+            Instruction::Load { base, .. } | Instruction::LoadFp { base, .. } => {
+                [int(base), None]
+            }
+            Instruction::Store { src, base, .. } => [int(base), int(src)],
+            Instruction::StoreFp { src, base, .. } => [int(base), Some(ArchReg::Fp(src))],
+            Instruction::Branch { src1, src2, .. } => [int(src1), int(src2)],
+            Instruction::Jump { .. } | Instruction::Nop | Instruction::Fence => [None, None],
+        }
+    }
+
+    /// Architectural destination register (r0 writes discarded).
+    fn dst_reg(inst: &Instruction) -> Option<ArchReg> {
+        match *inst {
+            Instruction::IntOp { dst, .. } | Instruction::Load { dst, .. } => {
+                if dst.is_zero() {
+                    None
+                } else {
+                    Some(ArchReg::Int(dst))
+                }
+            }
+            Instruction::FpOpInst { dst, .. } | Instruction::LoadFp { dst, .. } => {
+                Some(ArchReg::Fp(dst))
+            }
+            _ => None,
+        }
+    }
+
+    fn rf(&mut self, class: RegClass) -> &mut PhysRegFile {
+        match class {
+            RegClass::Int => &mut self.int_rf,
+            RegClass::Fp => &mut self.fp_rf,
+        }
+    }
+
+    fn rf_ref(&self, class: RegClass) -> &PhysRegFile {
+        match class {
+            RegClass::Int => &self.int_rf,
+            RegClass::Fp => &self.fp_rf,
+        }
+    }
+
+    /// Marks a produced register ready (and possibly INV), waking waiters.
+    fn wake_register(&mut self, class: RegClass, p: PhysReg, inv: bool) {
+        {
+            let rf = self.rf(class);
+            if inv {
+                rf.set_inv(p);
+            }
+            rf.set_ready(p);
+        }
+        let waiters = self.iqs.take_waiters(class, p);
+        for (tid, seq, gseq) in waiters {
+            let Some(e) = self.threads[tid].rob.get_mut(seq) else {
+                continue;
+            };
+            if e.gseq != gseq || e.state != EntryState::WaitIssue || e.waiting == 0 {
+                continue;
+            }
+            e.waiting -= 1;
+            if e.waiting == 0 {
+                let kind = e.iq.expect("waiting entry sits in an IQ");
+                self.iqs.push_ready(kind, e.gseq, tid, seq);
+            }
+        }
+    }
+
+    /// If `dst_arch`'s current speculative mapping is `p`, propagate the
+    /// INV status to the rename-time INV bit vector (keeps the two INV
+    /// planes consistent).
+    fn set_arch_inv_if_current(&mut self, tid: ThreadId, dst_arch: ArchReg, p: PhysReg) {
+        if self.rename[tid].lookup(dst_arch) == p {
+            self.threads[tid].arch_inv[dst_arch.flat_index()] = true;
+        }
+    }
+
+    // ---- completion / writeback ----
+
+    fn process_completions(&mut self) {
+        while let Some(&Reverse((ready, tid, seq, gseq))) = self.completions.peek() {
+            if ready > self.now {
+                break;
+            }
+            self.completions.pop();
+            self.writeback(tid, seq, gseq);
+        }
+    }
+
+    fn writeback(&mut self, tid: ThreadId, seq: u64, gseq: u64) {
+        let (inv, dst, dst_arch, is_branch, was_dmiss);
+        {
+            let Some(e) = self.threads[tid].rob.get_mut(seq) else {
+                return; // squashed
+            };
+            if e.gseq != gseq || e.state != EntryState::Executing {
+                return; // stale completion (squashed + seq reused, or converted)
+            }
+            e.state = EntryState::Done;
+            inv = e.inv;
+            dst = e.dst;
+            dst_arch = e.dst_arch;
+            is_branch = e.is_branch();
+            was_dmiss = e.dmiss;
+            e.dmiss = false;
+        }
+        if was_dmiss {
+            self.threads[tid].dmiss_inflight -= 1;
+        }
+        if let Some((class, p)) = dst {
+            self.wake_register(class, p, inv);
+            if inv {
+                if let Some(arch) = dst_arch {
+                    self.set_arch_inv_if_current(tid, arch, p);
+                }
+            }
+        }
+        if is_branch {
+            self.resolve_branch(tid, seq);
+        }
+    }
+
+    fn resolve_branch(&mut self, tid: ThreadId, seq: u64) {
+        let (pc, taken, predicted, mispredicted, hist_bits) = {
+            let e = self.threads[tid].rob.get(seq).expect("resolving branch");
+            (
+                e.rec.pc,
+                e.rec.taken,
+                e.predicted,
+                e.mispredicted,
+                e.hist_bits,
+            )
+        };
+        if let Some(pred_dir) = predicted {
+            let hist = GlobalHistory::from_bits(hist_bits);
+            self.pred
+                .train(Self::pred_key(tid, pc), &hist, taken, pred_dir);
+            self.stats.threads[tid].bpred.record(pred_dir == taken);
+        }
+        if mispredicted && self.threads[tid].branch_gate == Some(seq) {
+            // Fetch resumes next cycle; the front-end depth models refill.
+            self.threads[tid].branch_gate = None;
+        }
+    }
+
+    // ---- runahead ----
+
+    fn process_runahead_exits(&mut self) {
+        for tid in 0..self.threads.len() {
+            if let Some(ep) = self.threads[tid].episode {
+                if self.now >= ep.exit_at {
+                    self.exit_runahead(tid);
+                }
+            }
+        }
+    }
+
+    fn enter_runahead(&mut self, tid: ThreadId) {
+        let trigger_seq;
+        let exit_at;
+        {
+            let front = self.threads[tid].rob.front().expect("trigger at head");
+            debug_assert!(front.is_load() && front.l2_miss);
+            trigger_seq = front.seq;
+            exit_at = front.ready_at;
+        }
+        self.threads[tid].mode = ExecMode::Runahead;
+        self.threads[tid].diverged = false;
+        self.threads[tid].episode = Some(Episode {
+            trigger_seq,
+            entered_at: self.now,
+            exit_at,
+        });
+        self.stats.threads[tid].runahead_episodes += 1;
+
+        // Invalidate the trigger and any other in-flight L2-miss loads:
+        // they pseudo-complete with bogus values (their fills keep
+        // prefetching in the hierarchy), and every in-flight register
+        // becomes episode-owned so pseudo-retirement can free it early.
+        let mut conversions: Vec<(RegClass, PhysReg, Option<ArchReg>)> = Vec::new();
+        let mut dmiss_drop = 0;
+        {
+            let thread = &mut self.threads[tid];
+            for e in thread.rob.iter_mut() {
+                if e.is_load() && e.state == EntryState::Executing && e.l2_miss && !e.inv {
+                    e.inv = true;
+                    e.state = EntryState::Done;
+                    if e.dmiss {
+                        dmiss_drop += 1;
+                        e.dmiss = false;
+                    }
+                    if let Some((class, p)) = e.dst {
+                        conversions.push((class, p, e.dst_arch));
+                    }
+                }
+            }
+            thread.dmiss_inflight -= dmiss_drop;
+        }
+        self.stats.threads[tid].runahead_inv_loads += conversions.len() as u64;
+        for (class, p, dst_arch) in conversions {
+            self.wake_register(class, p, true);
+            if let Some(arch) = dst_arch {
+                self.set_arch_inv_if_current(tid, arch, p);
+            }
+        }
+
+        // Episode-tag every in-flight destination register.
+        let dsts: Vec<(RegClass, PhysReg)> = self.threads[tid]
+            .rob
+            .iter()
+            .filter_map(|e| e.dst)
+            .collect();
+        for &(class, p) in &dsts {
+            self.rf(class).mark_episode(p);
+        }
+        self.threads[tid].episode_regs.extend(dsts);
+    }
+
+    fn exit_runahead(&mut self, tid: ThreadId) {
+        let ep = self.threads[tid].episode.take().expect("episode to exit");
+
+        // Squash the thread's entire window (all of it is runahead work).
+        while let Some(e) = self.threads[tid].rob.pop_back() {
+            self.cleanup_squashed(tid, &e, false);
+        }
+        // Sweep episode registers that pseudo-retirement did not yet free.
+        // A register freed earlier and re-allocated (possibly to another
+        // thread) must be skipped: the ownership check makes the stale
+        // episode-list entry harmless.
+        let regs = std::mem::take(&mut self.threads[tid].episode_regs);
+        for (class, p) in regs {
+            if self.rf_ref(class).in_episode(p) && self.rf_ref(class).owned_by(p, tid) {
+                self.rf(class).free(p, tid);
+            }
+        }
+        // Restore the checkpoint: speculative map := architectural map.
+        self.rename[tid].reset_to_arch();
+
+        let squashed_frontend = self.threads[tid].frontend.len() as u64;
+        {
+            let thread = &mut self.threads[tid];
+            thread.arch_inv = [false; 64];
+            thread.frontend.clear();
+            thread.branch_gate = None;
+            thread.icache_wait = 0;
+            thread.diverged = false;
+            thread.mode = ExecMode::Normal;
+            thread.dmiss_inflight = 0;
+            thread.ra_inv_words.clear();
+            // Rewind the fetch oracle to the retirement point (= the
+            // trigger load's PC: it re-executes and now hits in the cache).
+            thread.oracle.rewind(std::iter::empty());
+            debug_assert_eq!(thread.oracle.next_seq(), ep.trigger_seq);
+        }
+        let ts = &mut self.stats.threads[tid];
+        ts.squashed += squashed_frontend;
+        ts.runahead_cycles += self.now - ep.entered_at;
+    }
+
+    /// Releases the resources of a squashed entry. `walkback` selects
+    /// FLUSH-style rename recovery (restore prev mapping, free dst); the
+    /// runahead exit path instead frees via episode tags + map reset.
+    fn cleanup_squashed(&mut self, tid: ThreadId, e: &RobEntry, walkback: bool) {
+        if e.state == EntryState::WaitIssue {
+            if let Some(kind) = e.iq {
+                self.iqs.remove(kind, tid);
+            }
+        }
+        if e.dmiss {
+            self.threads[tid].dmiss_inflight =
+                self.threads[tid].dmiss_inflight.saturating_sub(1);
+        }
+        if walkback {
+            if let (Some((class, dst)), Some(arch)) = (e.dst, e.dst_arch) {
+                let prev = e.prev.expect("renamed entry has prev mapping");
+                self.rename[tid].restore(arch, prev);
+                self.rf(class).free(dst, tid);
+            }
+        } else if let Some((class, dst)) = e.dst {
+            if self.rf_ref(class).in_episode(dst) && self.rf_ref(class).owned_by(dst, tid) {
+                self.rf(class).free(dst, tid);
+            }
+        }
+        if e.is_store() {
+            if let Some(addr) = e.rec.eff_addr {
+                Self::remove_store_addr(&mut self.threads[tid].store_addrs, addr);
+            }
+        }
+        if self.threads[tid].branch_gate == Some(e.seq) {
+            self.threads[tid].branch_gate = None;
+        }
+        self.rob_occupancy -= 1;
+        self.stats.threads[tid].squashed += 1;
+    }
+
+    fn remove_store_addr(map: &mut HashMap<u64, u32>, addr: u64) {
+        let word = addr & !7;
+        if let Some(c) = map.get_mut(&word) {
+            *c -= 1;
+            if *c == 0 {
+                map.remove(&word);
+            }
+        }
+    }
+
+    // ---- FLUSH policy squash ----
+
+    /// Squashes all of `tid`'s instructions younger than `keep_seq`,
+    /// restores the rename map by walk-back, rewinds the fetch oracle, and
+    /// gates fetch until `resume_at` (the missing load's fill time).
+    fn flush_thread(&mut self, tid: ThreadId, keep_seq: u64, resume_at: Cycle) {
+        loop {
+            let Some(back) = self.threads[tid].rob.back() else {
+                break;
+            };
+            if back.seq <= keep_seq {
+                break;
+            }
+            let e = self.threads[tid].rob.pop_back().expect("back exists");
+            self.cleanup_squashed(tid, &e, true);
+        }
+        let squashed_frontend = self.threads[tid].frontend.len() as u64;
+        self.threads[tid].frontend.clear();
+        self.threads[tid].branch_gate = None;
+        self.threads[tid].icache_wait = 0;
+        self.stats.threads[tid].squashed += squashed_frontend;
+
+        let replay: Vec<ExecRecord> = self.threads[tid].rob.iter().map(|e| e.rec).collect();
+        self.threads[tid].oracle.rewind(replay.into_iter());
+        debug_assert_eq!(self.threads[tid].oracle.next_seq(), keep_seq + 1);
+
+        self.threads[tid].longlat_gate = self.threads[tid].longlat_gate.max(resume_at);
+        self.stats.threads[tid].flushes += 1;
+    }
+
+    // ---- commit ----
+
+    fn commit_stage(&mut self) {
+        let n = self.threads.len();
+        let mut budget = self.cfg.width;
+        let start = self.commit_rr;
+        self.commit_rr = (self.commit_rr + 1) % n;
+        for k in 0..n {
+            let tid = (start + k) % n;
+            while budget > 0 {
+                enum Action {
+                    Commit,
+                    PseudoRetire,
+                    EnterRunahead,
+                    Stop,
+                }
+                let action = {
+                    let thread = &self.threads[tid];
+                    match thread.rob.front() {
+                        None => Action::Stop,
+                        Some(front) => match thread.mode {
+                            ExecMode::Normal => {
+                                if front.state == EntryState::Done {
+                                    Action::Commit
+                                } else if self.cfg.policy.uses_runahead()
+                                    && front.is_load()
+                                    && front.state == EntryState::Executing
+                                    && front.l2_miss
+                                    && front.ready_at > self.now + self.cfg.runahead.entry_threshold
+                                    && !front.inv
+                                    && !thread.no_retrigger.contains(&front.seq)
+                                {
+                                    Action::EnterRunahead
+                                } else {
+                                    Action::Stop
+                                }
+                            }
+                            ExecMode::Runahead => {
+                                if front.state == EntryState::Done {
+                                    Action::PseudoRetire
+                                } else {
+                                    Action::Stop
+                                }
+                            }
+                        },
+                    }
+                };
+                match action {
+                    Action::Commit => {
+                        self.commit_one(tid);
+                        budget -= 1;
+                    }
+                    Action::PseudoRetire => {
+                        self.pseudo_retire_one(tid);
+                        budget -= 1;
+                    }
+                    Action::EnterRunahead => {
+                        self.enter_runahead(tid);
+                        break;
+                    }
+                    Action::Stop => break,
+                }
+            }
+        }
+    }
+
+    fn commit_one(&mut self, tid: ThreadId) {
+        let e = self.threads[tid].rob.pop_front().expect("commit front");
+        debug_assert_eq!(e.mode, ExecMode::Normal);
+        self.threads[tid].oracle.commit(&e.rec);
+        if let (Some((class, dst)), Some(arch)) = (e.dst, e.dst_arch) {
+            let old = self.rename[tid].commit(arch, dst);
+            self.rf(class).free(old, tid);
+        }
+        if e.is_store() {
+            if let Some(addr) = e.rec.eff_addr {
+                Self::remove_store_addr(&mut self.threads[tid].store_addrs, addr);
+            }
+        }
+        // Committed instructions are past the re-trigger filter window.
+        if !self.threads[tid].no_retrigger.is_empty() {
+            self.threads[tid].no_retrigger.remove(&e.seq);
+        }
+        self.rob_occupancy -= 1;
+        self.stats.threads[tid].committed += 1;
+        self.last_progress = self.now;
+    }
+
+    fn pseudo_retire_one(&mut self, tid: ThreadId) {
+        let e = self.threads[tid].rob.pop_front().expect("pseudo front");
+        if let Some(prev) = e.prev {
+            let class = e.dst.expect("prev implies dst").0;
+            if self.rf_ref(class).in_episode(prev) && self.rf_ref(class).owned_by(prev, tid) {
+                self.rf(class).free(prev, tid);
+            }
+        }
+        if e.is_store() {
+            if let Some(addr) = e.rec.eff_addr {
+                Self::remove_store_addr(&mut self.threads[tid].store_addrs, addr);
+            }
+        }
+        self.rob_occupancy -= 1;
+        self.stats.threads[tid].pseudo_retired += 1;
+        self.last_progress = self.now;
+    }
+
+    // ---- issue ----
+
+    fn issue_stage(&mut self) {
+        let mut budget = self.cfg.width;
+        for kind in [IqKind::Int, IqKind::Fp, IqKind::Ls] {
+            let mut fu = self.cfg.fu_count[kind.index()];
+            let mut retries: Vec<(u64, ThreadId, u64)> = Vec::new();
+            // Bound the scheduler scan per queue per cycle: a rejected
+            // (MSHR-full) load is set aside without consuming an issue
+            // port, so one thread's blocked misses cannot starve another
+            // thread's ready accesses.
+            let mut scan = 64usize;
+            while budget > 0 && fu > 0 && scan > 0 {
+                scan -= 1;
+                let Some((gseq, tid, seq)) = self.iqs.pop_ready(kind) else {
+                    break;
+                };
+                {
+                    let Some(e) = self.threads[tid].rob.get(seq) else {
+                        continue;
+                    };
+                    if e.gseq != gseq || e.state != EntryState::WaitIssue || e.waiting != 0 {
+                        continue;
+                    }
+                }
+                match self.issue_one(tid, seq, kind) {
+                    IssueOutcome::Issued => {
+                        budget -= 1;
+                        fu -= 1;
+                    }
+                    IssueOutcome::Retry => {
+                        retries.push((gseq, tid, seq));
+                    }
+                }
+            }
+            for (gseq, tid, seq) in retries {
+                self.iqs.push_ready(kind, gseq, tid, seq);
+            }
+        }
+    }
+
+    fn issue_one(&mut self, tid: ThreadId, seq: u64, kind: IqKind) -> IssueOutcome {
+        // Gather what we need, holding the borrow briefly. Memory ops
+        // execute under the thread's *current* mode: instructions in
+        // flight when runahead begins become runahead instructions
+        // (their L2 misses turn INV instead of blocking pseudo-retire).
+        let (srcs, entry_kind, eff_addr, inv_already) = {
+            let e = self.threads[tid].rob.get(seq).expect("issuing entry");
+            (e.srcs, e.kind, e.rec.eff_addr, e.inv)
+        };
+        let mode = self.threads[tid].mode;
+        let reg_inv = |class: RegClass, p: PhysReg| match class {
+            RegClass::Int => self.int_rf.is_inv(p),
+            RegClass::Fp => self.fp_rf.is_inv(p),
+        };
+        let src_inv = srcs.iter().flatten().any(|&(class, p)| reg_inv(class, p));
+        let mut inv = inv_already || src_inv;
+
+        let ready_at = match entry_kind {
+            InstructionKind::Load => {
+                match self.issue_load(tid, seq, eff_addr.expect("load has address"), mode, inv) {
+                    Some(r) => r,
+                    None => return self.revert_issue(tid, seq, kind),
+                }
+            }
+            InstructionKind::Store => {
+                // For a store only the *address* (src 0) going INV makes the
+                // whole operation bogus; INV data still allows the address
+                // access (write-allocate prefetch) and, with the runahead
+                // cache, records the INV status for later loads (§3.3).
+                let base_inv =
+                    inv_already || srcs[0].map_or(false, |(c, p)| reg_inv(c, p));
+                let data_inv = srcs[1].map_or(false, |(c, p)| reg_inv(c, p));
+                inv = base_inv;
+                self.issue_store(
+                    tid,
+                    eff_addr.expect("store has address"),
+                    mode,
+                    base_inv,
+                    data_inv,
+                )
+            }
+            k => self.now + Self::exec_latency(k),
+        };
+
+        let thread_mode_runahead = self.threads[tid].mode == ExecMode::Runahead;
+        let e = self.threads[tid].rob.get_mut(seq).expect("issuing entry");
+        e.state = EntryState::Executing;
+        // issue_load may have set e.inv itself (L2 miss in runahead).
+        e.inv = e.inv || inv;
+        e.ready_at = ready_at;
+        let gseq = e.gseq;
+        let was_iq = e.iq.take();
+        if let Some(k) = was_iq {
+            self.iqs.remove(k, tid);
+        }
+        self.completions.push(Reverse((ready_at, tid, seq, gseq)));
+        self.stats.threads[tid].issued += 1;
+        let _ = thread_mode_runahead;
+        IssueOutcome::Issued
+    }
+
+    /// Puts an entry back to WaitIssue after an MSHR rejection.
+    fn revert_issue(&mut self, _tid: ThreadId, _seq: u64, _kind: IqKind) -> IssueOutcome {
+        // Entry state was never changed; it stays WaitIssue and in its IQ.
+        IssueOutcome::Retry
+    }
+
+    /// Computes a load's completion cycle. Returns `None` when the access
+    /// was rejected (MSHRs full) and must retry. May mark the entry INV
+    /// (runahead L2 miss / suppressed access).
+    fn issue_load(
+        &mut self,
+        tid: ThreadId,
+        seq: u64,
+        addr: u64,
+        mode: ExecMode,
+        inv_in: bool,
+    ) -> Option<Cycle> {
+        let dlat = self.cfg.hierarchy.dcache.latency;
+        // Bogus address (INV base propagated at issue): fold silently.
+        if inv_in {
+            return Some(self.now + 1);
+        }
+        let tagged = Self::tag_addr(tid, addr);
+        // Runahead cache (§3.3): a load reading a word written with INV
+        // data during this episode observes the INV status.
+        if mode == ExecMode::Runahead
+            && self.cfg.runahead.runahead_cache
+            && self.threads[tid].ra_inv_words.contains(&(addr & !7))
+        {
+            let e = self.threads[tid].rob.get_mut(seq).expect("load entry");
+            e.inv = true;
+            return Some(self.now + 1);
+        }
+        // Store→load forwarding (word-granular, oracle addresses).
+        if self.threads[tid].store_addrs.contains_key(&(addr & !7)) {
+            self.stats.threads[tid].forwarded_loads += 1;
+            return Some(self.now + dlat);
+        }
+
+        match mode {
+            ExecMode::Normal => {
+                let res = self.hier.data_access(tagged, AccessKind::Load, self.now);
+                if res.rejected {
+                    return None;
+                }
+                if !res.l1_hit {
+                    let e = self.threads[tid].rob.get_mut(seq).expect("load entry");
+                    e.dmiss = true;
+                    self.threads[tid].dmiss_inflight += 1;
+                    self.stats.threads[tid].dmiss_loads += 1;
+                }
+                if res.l2_miss {
+                    {
+                        let e = self.threads[tid].rob.get_mut(seq).expect("load entry");
+                        e.l2_miss = true;
+                    }
+                    self.stats.threads[tid].l2_miss_loads += 1;
+                    match self.cfg.policy {
+                        PolicyKind::Stall => {
+                            self.threads[tid].longlat_gate =
+                                self.threads[tid].longlat_gate.max(res.ready_at);
+                        }
+                        PolicyKind::Flush => {
+                            // One flush per long-latency episode: while the
+                            // thread is already fetch-gated on a miss, later
+                            // misses do not re-flush (Tullsen & Brown flush
+                            // on the first detected L2 miss).
+                            if self.now >= self.threads[tid].longlat_gate {
+                                self.flush_thread(tid, seq, res.ready_at);
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                Some(res.ready_at)
+            }
+            ExecMode::Runahead => {
+                if self.threads[tid].diverged {
+                    // Off the most-likely path: no useful prefetch; model
+                    // as a short-latency bogus access.
+                    return Some(self.now + dlat);
+                }
+                match self.cfg.runahead.variant {
+                    RunaheadVariant::NoPrefetch => {
+                        match self.hier.l1_data_probe(tagged, self.now) {
+                            Some(ready) => Some(ready),
+                            None => {
+                                // Would miss: invalid, no L2 access; and do
+                                // not re-trigger runahead on this load
+                                // after recovery (keeps episode timing
+                                // comparable to Full).
+                                let e =
+                                    self.threads[tid].rob.get_mut(seq).expect("load entry");
+                                e.inv = true;
+                                self.threads[tid].no_retrigger.insert(seq);
+                                self.stats.threads[tid].runahead_inv_loads += 1;
+                                Some(self.now + 1)
+                            }
+                        }
+                    }
+                    _ => {
+                        // Runahead accesses are speculative: they take the
+                        // prefetch MSHR-arbitration class so demand misses
+                        // of other threads are never starved.
+                        let res = self.hier.data_access(tagged, AccessKind::Prefetch, self.now);
+                        if res.rejected {
+                            // No MSHR for a speculative miss: drop the
+                            // prefetch and mark the value bogus, as real
+                            // runahead engines do — a runahead load must
+                            // never camp on the window head retrying.
+                            let e = self.threads[tid].rob.get_mut(seq).expect("load entry");
+                            e.inv = true;
+                            self.threads[tid].no_retrigger.insert(seq);
+                            return Some(self.now + 1);
+                        }
+                        if !res.l1_hit {
+                            self.stats.threads[tid].runahead_prefetches += 1;
+                        }
+                        if res.l2_miss {
+                            // The paper's key behavior: a runahead L2 miss
+                            // turns INV immediately (value bogus) while its
+                            // prefetch proceeds in the memory system.
+                            let e = self.threads[tid].rob.get_mut(seq).expect("load entry");
+                            e.inv = true;
+                            self.stats.threads[tid].runahead_inv_loads += 1;
+                            Some(self.now + 1)
+                        } else {
+                            Some(res.ready_at)
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Stores complete quickly (store buffer); their cache access is for
+    /// write-allocation and, during runahead, prefetching. `base_inv`
+    /// suppresses the access entirely (unknown address); `data_inv` feeds
+    /// the optional runahead cache.
+    fn issue_store(
+        &mut self,
+        tid: ThreadId,
+        addr: u64,
+        mode: ExecMode,
+        base_inv: bool,
+        data_inv: bool,
+    ) -> Cycle {
+        if !base_inv {
+            let tagged = Self::tag_addr(tid, addr);
+            match mode {
+                ExecMode::Normal => {
+                    let _ = self.hier.data_access(tagged, AccessKind::Store, self.now);
+                }
+                ExecMode::Runahead => {
+                    if !self.threads[tid].diverged
+                        && self.cfg.runahead.variant == RunaheadVariant::Full
+                    {
+                        let res = self.hier.data_access(tagged, AccessKind::Prefetch, self.now);
+                        if !res.rejected && !res.l1_hit {
+                            self.stats.threads[tid].runahead_prefetches += 1;
+                        }
+                    }
+                    if self.cfg.runahead.runahead_cache && data_inv {
+                        self.threads[tid].ra_inv_words.insert(addr & !7);
+                    }
+                }
+            }
+        }
+        self.now + 1
+    }
+
+    // ---- dispatch / rename ----
+
+    fn dispatch_stage(&mut self) {
+        let n = self.threads.len();
+        let mut budget = self.cfg.width;
+        let start = self.dispatch_rr;
+        self.dispatch_rr = (self.dispatch_rr + 1) % n;
+        // Normal threads dispatch before speculative (runahead) threads:
+        // runahead work fills leftover bandwidth only (§3.2: a runahead
+        // thread must not limit the resources of other threads).
+        let mut order: Vec<ThreadId> = (0..n).map(|k| (start + k) % n).collect();
+        order.sort_by_key(|&t| self.threads[t].mode == ExecMode::Runahead);
+        for tid in order {
+            while budget > 0 {
+                let ready = match self.threads[tid].frontend.front() {
+                    Some(f) if f.ready_at <= self.now => true,
+                    _ => false,
+                };
+                if !ready || !self.try_dispatch_one(tid) {
+                    break;
+                }
+                budget -= 1;
+            }
+            if budget == 0 {
+                break;
+            }
+        }
+    }
+
+    /// Attempts to rename+dispatch the next fetched instruction of `tid`.
+    /// Returns `false` on a resource or policy stall (in-order dispatch:
+    /// the thread stops for this cycle).
+    fn try_dispatch_one(&mut self, tid: ThreadId) -> bool {
+        let f = *self.threads[tid].frontend.front().expect("checked");
+        let kind = f.rec.inst.kind();
+        let iq_kind = Self::iq_kind(kind);
+        let dst_arch = Self::dst_reg(&f.rec.inst);
+        let srcs_arch = Self::src_regs(&f.rec.inst);
+        let runahead = self.threads[tid].mode == ExecMode::Runahead;
+
+        // --- runahead folding (paper §3.2/§3.3) ---
+        if runahead {
+            // INV sources at rename: for loads/stores only the address
+            // matters (INV store *data* still prefetches); for everything
+            // else any INV source folds the instruction.
+            let fold_srcs: &[Option<ArchReg>] = match kind {
+                InstructionKind::Load | InstructionKind::Store => &srcs_arch[..1],
+                _ => &srcs_arch[..],
+            };
+            let src_inv = fold_srcs
+                .iter()
+                .flatten()
+                .any(|r| self.threads[tid].arch_inv[r.flat_index()]);
+            let drop_fp = self.cfg.runahead.drop_fp && f.rec.inst.is_fp_compute();
+            // Synchronization instructions are ignored in runahead (§3.3).
+            let is_fence = matches!(f.rec.inst, Instruction::Fence);
+            if src_inv || drop_fp || is_fence {
+                if self.rob_occupancy >= self.cfg.rob_size {
+                    return false;
+                }
+                self.threads[tid].frontend.pop_front();
+                if let Some(arch) = dst_arch {
+                    self.threads[tid].arch_inv[arch.flat_index()] = true;
+                }
+                if kind == InstructionKind::Branch {
+                    // An INV branch follows the predicted path; if the
+                    // prediction disagrees with the correct path, the
+                    // runahead thread diverges (§3.1 "most likely path").
+                    if f.predicted != Some(f.rec.taken) && !self.threads[tid].diverged {
+                        self.threads[tid].diverged = true;
+                        self.stats.threads[tid].runahead_divergences += 1;
+                    }
+                    if self.threads[tid].branch_gate == Some(f.rec.seq) {
+                        self.threads[tid].branch_gate = None;
+                    }
+                }
+                self.push_folded_entry(tid, &f);
+                return true;
+            }
+        }
+
+        // --- resource checks ---
+        if self.rob_occupancy >= self.cfg.rob_size {
+            return false;
+        }
+        if let Some(k) = iq_kind {
+            if !self.iqs.has_space(k) {
+                return false;
+            }
+        }
+        if let Some(arch) = dst_arch {
+            let class = if arch.is_int() { RegClass::Int } else { RegClass::Fp };
+            if self.rf_ref(class).free_count() == 0 {
+                return false;
+            }
+        }
+        if !self.policy_allows_dispatch(tid, iq_kind, dst_arch) {
+            return false;
+        }
+
+        // --- rename & allocate ---
+        let f = self.threads[tid].frontend.pop_front().expect("checked");
+        self.gseq += 1;
+        let gseq = self.gseq;
+        let seq = f.rec.seq;
+
+        let mut srcs: [Option<(RegClass, PhysReg)>; 2] = [None, None];
+        let mut waiting = 0u8;
+        for (i, src) in srcs_arch.iter().enumerate() {
+            if let Some(arch) = src {
+                let class = if arch.is_int() { RegClass::Int } else { RegClass::Fp };
+                let p = self.rename[tid].lookup(*arch);
+                srcs[i] = Some((class, p));
+                if !self.rf_ref(class).is_ready(p) {
+                    waiting += 1;
+                    self.iqs.add_waiter(class, p, tid, seq, gseq);
+                }
+            }
+        }
+
+        let mut dst = None;
+        let mut prev = None;
+        if let Some(arch) = dst_arch {
+            let class = if arch.is_int() { RegClass::Int } else { RegClass::Fp };
+            let p = self.rf(class).alloc(tid).expect("checked free_count");
+            prev = Some(self.rename[tid].rename(arch, p));
+            dst = Some((class, p));
+            if runahead {
+                self.rf(class).mark_episode(p);
+                self.threads[tid].episode_regs.push((class, p));
+            }
+            // A valid instruction overwrites any INV status of its dest.
+            self.threads[tid].arch_inv[arch.flat_index()] = false;
+            if class == RegClass::Fp {
+                self.threads[tid].fp_user = true;
+            }
+        }
+        if f.rec.inst.is_fp_compute() {
+            self.threads[tid].fp_user = true;
+        }
+
+        let state = if iq_kind.is_none() {
+            EntryState::Done
+        } else {
+            EntryState::WaitIssue
+        };
+        if let Some(k) = iq_kind {
+            self.iqs.insert(k, tid);
+        }
+        if matches!(kind, InstructionKind::Store) {
+            if let Some(addr) = f.rec.eff_addr {
+                *self.threads[tid]
+                    .store_addrs
+                    .entry(addr & !7)
+                    .or_insert(0) += 1;
+            }
+        }
+
+        let mode = self.threads[tid].mode;
+        self.threads[tid].rob.push(RobEntry {
+            tid,
+            seq,
+            gseq,
+            rec: f.rec,
+            kind,
+            mode,
+            state,
+            inv: false,
+            dst,
+            dst_arch,
+            prev,
+            srcs,
+            iq: iq_kind,
+            waiting,
+            ready_at: 0,
+            dmiss: false,
+            l2_miss: false,
+            predicted: f.predicted,
+            mispredicted: f.mispredicted,
+            hist_bits: f.hist_bits,
+        });
+        self.rob_occupancy += 1;
+        self.stats.threads[tid].dispatched += 1;
+        if waiting == 0 {
+            if let Some(k) = iq_kind {
+                self.iqs.push_ready(k, gseq, tid, seq);
+            }
+        }
+        true
+    }
+
+    fn push_folded_entry(&mut self, tid: ThreadId, f: &Fetched) {
+        self.gseq += 1;
+        self.threads[tid].rob.push(RobEntry {
+            tid,
+            seq: f.rec.seq,
+            gseq: self.gseq,
+            rec: f.rec,
+            kind: f.rec.inst.kind(),
+            mode: ExecMode::Runahead,
+            state: EntryState::Done,
+            inv: true,
+            dst: None,
+            dst_arch: None,
+            prev: None,
+            srcs: [None, None],
+            iq: None,
+            waiting: 0,
+            ready_at: self.now,
+            dmiss: false,
+            l2_miss: false,
+            predicted: f.predicted,
+            mispredicted: f.mispredicted,
+            hist_bits: f.hist_bits,
+        });
+        self.rob_occupancy += 1;
+        let ts = &mut self.stats.threads[tid];
+        ts.dispatched += 1;
+        ts.folded += 1;
+    }
+
+    fn policy_allows_dispatch(
+        &self,
+        tid: ThreadId,
+        iq_kind: Option<IqKind>,
+        dst_arch: Option<ArchReg>,
+    ) -> bool {
+        match self.cfg.policy {
+            PolicyKind::Dcra => self.dcra_allows(tid, iq_kind, dst_arch),
+            PolicyKind::Hill => self.hill_allows(tid, iq_kind, dst_arch),
+            _ => true,
+        }
+    }
+
+    fn dcra_allows(
+        &self,
+        tid: ThreadId,
+        iq_kind: Option<IqKind>,
+        dst_arch: Option<ArchReg>,
+    ) -> bool {
+        let n = self.threads.len();
+        if n == 1 {
+            return true;
+        }
+        let slow: Vec<bool> = self.threads.iter().map(|t| t.dmiss_inflight > 0).collect();
+        // Integer resources: every thread participates.
+        let int_weights: Vec<f64> = (0..n)
+            .map(|t| dcra_weight(slow[t], true, self.dcra_slow_weight))
+            .collect();
+        // FP resources: only threads that have touched FP.
+        let fp_weights: Vec<f64> = (0..n)
+            .map(|t| dcra_weight(slow[t], self.threads[t].fp_user, self.dcra_slow_weight))
+            .collect();
+
+        if let Some(k) = iq_kind {
+            let total = self.cfg.iq_size[k.index()];
+            let weights = if k == IqKind::Fp { &fp_weights } else { &int_weights };
+            let caps = dcra_caps(total, weights);
+            if self.iqs.thread_occupancy(tid, k) >= caps[tid].max(4) {
+                return false;
+            }
+        }
+        if let Some(arch) = dst_arch {
+            // Only the *renaming* (non-architectural) registers are shared:
+            // 32 per thread are pinned for precise state.
+            let pinned = 32 * n;
+            if arch.is_int() {
+                let shared = self.cfg.int_regs.saturating_sub(pinned);
+                let caps = dcra_caps(shared, &int_weights);
+                if self.int_rf.allocated(tid).saturating_sub(32) >= caps[tid].max(4) {
+                    return false;
+                }
+            } else {
+                let shared = self.cfg.fp_regs.saturating_sub(pinned);
+                let caps = dcra_caps(shared, &fp_weights);
+                if self.fp_rf.allocated(tid).saturating_sub(32) >= caps[tid].max(4) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn hill_allows(
+        &self,
+        tid: ThreadId,
+        iq_kind: Option<IqKind>,
+        dst_arch: Option<ArchReg>,
+    ) -> bool {
+        let Some(hill) = &self.hill else { return true };
+        let share = hill.share(tid);
+        if self.threads[tid].rob.len() >= ((self.cfg.rob_size as f64) * share) as usize {
+            return false;
+        }
+        if let Some(k) = iq_kind {
+            let cap = ((self.cfg.iq_size[k.index()] as f64) * share) as usize;
+            if self.iqs.thread_occupancy(tid, k) >= cap.max(4) {
+                return false;
+            }
+        }
+        if let Some(arch) = dst_arch {
+            let n = self.threads.len();
+            let pinned = 32 * n;
+            let (total, used) = if arch.is_int() {
+                (self.cfg.int_regs, self.int_rf.allocated(tid))
+            } else {
+                (self.cfg.fp_regs, self.fp_rf.allocated(tid))
+            };
+            let shared = total.saturating_sub(pinned);
+            let cap = ((shared as f64) * share) as usize;
+            if used.saturating_sub(32) >= cap.max(4) {
+                return false;
+            }
+        }
+        true
+    }
+
+    // ---- fetch ----
+
+    fn fetch_stage(&mut self) {
+        let n = self.threads.len();
+        let order: Vec<ThreadId> = match self.cfg.policy {
+            PolicyKind::RoundRobin => {
+                let start = self.fetch_rr % n;
+                (0..n).map(|k| (start + k) % n).collect()
+            }
+            _ => {
+                // ICOUNT: ascending in-flight front-end instruction count.
+                // Runahead threads are speculative, so they fetch with
+                // strictly lower priority than any normal thread — this is
+                // how a runahead thread avoids "limiting the available
+                // resources for other threads" (§3.2) at the fetch stage.
+                let mut order: Vec<ThreadId> = (0..n).collect();
+                let icounts: Vec<usize> = (0..n)
+                    .map(|t| self.threads[t].icount(&self.iqs, t))
+                    .collect();
+                let start = self.fetch_rr % n; // stable tie-break rotation
+                order.sort_by_key(|&t| {
+                    let speculative = self.threads[t].mode == ExecMode::Runahead;
+                    (speculative, icounts[t], (t + n - start) % n)
+                });
+                order
+            }
+        };
+        self.fetch_rr += 1;
+
+        let mut slots = self.cfg.width;
+        let mut threads_used = 0;
+        for tid in order {
+            if slots == 0 || threads_used >= self.cfg.fetch_threads {
+                break;
+            }
+            if !self.fetchable(tid) {
+                continue;
+            }
+            let fetched = self.fetch_thread(tid, slots);
+            if fetched > 0 {
+                slots -= fetched;
+                threads_used += 1;
+            }
+        }
+    }
+
+    fn fetchable(&self, tid: ThreadId) -> bool {
+        let t = &self.threads[tid];
+        if self.now < t.icache_wait || t.branch_gate.is_some() || self.now < t.longlat_gate {
+            return false;
+        }
+        if t.frontend.len() >= self.cfg.fetch_buffer {
+            return false;
+        }
+        if t.mode == ExecMode::Runahead
+            && self.cfg.runahead.variant == RunaheadVariant::NoFetch
+        {
+            return false;
+        }
+        true
+    }
+
+    fn fetch_thread(&mut self, tid: ThreadId, max: usize) -> usize {
+        let mut count = 0;
+        let mut cur_line = u64::MAX;
+        while count < max && self.threads[tid].frontend.len() < self.cfg.fetch_buffer {
+            let pc = self.threads[tid].oracle.fetch_pc();
+            let addr = Self::tag_addr(tid, pc.byte_addr());
+            let line = addr & !63;
+            if line != cur_line {
+                let res = self.hier.fetch_access(addr, self.now);
+                if res.rejected {
+                    break;
+                }
+                if !res.l1_hit {
+                    self.threads[tid].icache_wait = res.ready_at;
+                    break;
+                }
+                cur_line = line;
+            }
+            let rec = self.threads[tid].oracle.fetch_step();
+            self.stats.threads[tid].fetched += 1;
+            let kind = rec.inst.kind();
+            let mut predicted = None;
+            let mut mispredicted = false;
+            let hist_bits = self.threads[tid].hist.bits();
+            if kind == InstructionKind::Branch {
+                let dir = self
+                    .pred
+                    .predict(Self::pred_key(tid, rec.pc), &self.threads[tid].hist);
+                predicted = Some(dir);
+                self.threads[tid].hist.push(rec.taken);
+                if dir != rec.taken {
+                    mispredicted = true;
+                    self.threads[tid].branch_gate = Some(rec.seq);
+                }
+            }
+            self.threads[tid].frontend.push_back(Fetched {
+                rec,
+                predicted,
+                mispredicted,
+                hist_bits,
+                ready_at: self.now + self.cfg.frontend_depth,
+            });
+            count += 1;
+            match kind {
+                InstructionKind::Branch if mispredicted => break,
+                InstructionKind::Branch if rec.taken => break,
+                InstructionKind::Jump => break,
+                _ => {}
+            }
+        }
+        count
+    }
+
+    // ---- per-cycle policy & stats updates ----
+
+    fn per_cycle_updates(&mut self) {
+        if let Some(hill) = &mut self.hill {
+            let total: u64 = self.stats.threads.iter().map(|t| t.committed).sum();
+            hill.on_cycle(self.now, total);
+        }
+        for tid in 0..self.threads.len() {
+            let m = self.threads[tid].mode.index();
+            let ts = &mut self.stats.threads[tid];
+            ts.mode_cycles[m] += 1;
+            ts.int_reg_cycles[m] += self.int_rf.allocated(tid) as u64;
+            ts.fp_reg_cycles[m] += self.fp_rf.allocated(tid) as u64;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rat_workload::{Benchmark, ThreadImage};
+
+    fn images(benches: &[Benchmark]) -> Vec<rat_isa::Cpu> {
+        benches
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| ThreadImage::generate(b, 100 + i as u64).build_cpu())
+            .collect()
+    }
+
+    #[test]
+    fn single_ilp_thread_commits() {
+        let cfg = SmtConfig::hpca2008_baseline();
+        let mut sim = SmtSimulator::new(cfg, images(&[Benchmark::Gzip]));
+        // Warm past the cold first pass, then measure steady state.
+        let done = sim.run_until_quota(15_000, 2_000_000);
+        assert!(done, "gzip should commit 15k instructions quickly");
+        sim.reset_stats();
+        sim.run_until_quota(5_000, 2_000_000);
+        let ipc = sim.stats().thread_ipc(0);
+        assert!(ipc > 1.5, "ILP thread steady-state IPC {ipc} too low");
+    }
+
+    #[test]
+    fn single_mem_thread_is_slow() {
+        let cfg = SmtConfig::hpca2008_baseline();
+        let mut sim = SmtSimulator::new(cfg, images(&[Benchmark::Mcf]));
+        let done = sim.run_until_quota(3_000, 3_000_000);
+        assert!(done, "mcf should still finish");
+        let ipc = sim.stats().thread_ipc(0);
+        let gzip_ipc = {
+            let mut s =
+                SmtSimulator::new(SmtConfig::hpca2008_baseline(), images(&[Benchmark::Gzip]));
+            s.run_until_quota(3_000, 3_000_000);
+            s.stats().thread_ipc(0)
+        };
+        assert!(
+            ipc < gzip_ipc,
+            "mcf IPC {ipc} should be below gzip IPC {gzip_ipc}"
+        );
+    }
+
+    #[test]
+    fn two_threads_share_the_core() {
+        let cfg = SmtConfig::hpca2008_baseline();
+        let mut sim = SmtSimulator::new(cfg, images(&[Benchmark::Gzip, Benchmark::Bzip2]));
+        let done = sim.run_until_quota(4_000, 2_000_000);
+        assert!(done);
+        assert!(sim.thread_stats(0).committed >= 4_000);
+        assert!(sim.thread_stats(1).committed >= 4_000);
+    }
+
+    #[test]
+    fn runahead_enters_and_exits() {
+        let mut cfg = SmtConfig::hpca2008_baseline();
+        cfg.policy = PolicyKind::Rat;
+        let mut sim = SmtSimulator::new(cfg, images(&[Benchmark::Art]));
+        sim.run_until_quota(4_000, 3_000_000);
+        let ts = sim.thread_stats(0);
+        assert!(ts.runahead_episodes > 0, "art must trigger runahead");
+        assert!(ts.runahead_cycles > 0);
+        assert!(ts.pseudo_retired > 0);
+        // After every episode the thread must be able to make progress.
+        assert!(ts.committed >= 4_000);
+    }
+
+    #[test]
+    fn runahead_prefetches_help_memory_bound_thread() {
+        // Single-threaded, runahead is roughly equivalent to the large
+        // instruction window (Mutlu et al.); the paper's gains appear when
+        // the window is *shared*. Compare on a 2-thread memory pair.
+        let quota = 5_000;
+        let run = |policy| {
+            let mut cfg = SmtConfig::hpca2008_baseline();
+            cfg.policy = policy;
+            let mut sim =
+                SmtSimulator::new(cfg, images(&[Benchmark::Art, Benchmark::Swim]));
+            sim.run_until_quota(10_000, 60_000_000);
+            sim.reset_stats();
+            sim.run_until_quota(quota, 60_000_000);
+            (sim.stats().thread_ipc(0) + sim.stats().thread_ipc(1)) / 2.0
+        };
+        let base = run(PolicyKind::Icount);
+        let rat = run(PolicyKind::Rat);
+        assert!(
+            rat > base * 1.15,
+            "runahead should speed up art+swim: ICOUNT {base:.3} vs RaT {rat:.3}"
+        );
+    }
+
+    #[test]
+    fn flush_policy_squashes() {
+        let mut cfg = SmtConfig::hpca2008_baseline();
+        cfg.policy = PolicyKind::Flush;
+        let mut sim = SmtSimulator::new(cfg, images(&[Benchmark::Art, Benchmark::Gzip]));
+        sim.run_until_quota(3_000, 4_000_000);
+        assert!(sim.thread_stats(0).flushes > 0, "art must trigger flushes");
+        assert!(sim.thread_stats(0).squashed > 0);
+    }
+
+    #[test]
+    fn stall_policy_gates_fetch() {
+        let mut cfg = SmtConfig::hpca2008_baseline();
+        cfg.policy = PolicyKind::Stall;
+        let mut sim = SmtSimulator::new(cfg, images(&[Benchmark::Art, Benchmark::Gzip]));
+        let done = sim.run_until_quota(3_000, 4_000_000);
+        assert!(done);
+    }
+
+    #[test]
+    fn dcra_and_hill_run() {
+        for policy in [PolicyKind::Dcra, PolicyKind::Hill] {
+            let mut cfg = SmtConfig::hpca2008_baseline();
+            cfg.policy = policy;
+            let mut sim =
+                SmtSimulator::new(cfg, images(&[Benchmark::Mcf, Benchmark::Gzip]));
+            let done = sim.run_until_quota(2_000, 6_000_000);
+            assert!(done, "{policy} must complete");
+        }
+    }
+
+    #[test]
+    fn determinism_same_seed_same_cycles() {
+        let run = || {
+            let mut cfg = SmtConfig::hpca2008_baseline();
+            cfg.policy = PolicyKind::Rat;
+            let mut sim =
+                SmtSimulator::new(cfg, images(&[Benchmark::Art, Benchmark::Gzip]));
+            sim.run_until_quota(2_000, 3_000_000);
+            (sim.cycles(), sim.thread_stats(0).committed)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn register_leak_free_after_runahead() {
+        let mut cfg = SmtConfig::hpca2008_baseline();
+        cfg.policy = PolicyKind::Rat;
+        let mut sim = SmtSimulator::new(cfg, images(&[Benchmark::Swim]));
+        sim.run_until_quota(4_000, 3_000_000);
+        // Eventually drain: run until the window empties in normal mode
+        // (episode registers are legitimately held until the episode's
+        // exit sweep).
+        for _ in 0..100_000 {
+            sim.cycle();
+            if sim.threads[0].rob.is_empty() && sim.threads[0].mode == ExecMode::Normal {
+                break;
+            }
+        }
+        // All registers beyond the 32+32 architectural ones should be free
+        // once nothing is in flight... allow in-flight fetch buffer.
+        let allocated = sim.int_rf.allocated(0);
+        assert!(
+            allocated >= 32 && allocated <= 32 + sim.threads[0].rob.len(),
+            "int registers leaked: {allocated} allocated with {} in flight",
+            sim.threads[0].rob.len()
+        );
+    }
+
+    #[test]
+    fn small_register_file_still_works() {
+        let mut cfg = SmtConfig::hpca2008_baseline();
+        cfg.int_regs = 96;
+        cfg.fp_regs = 96;
+        cfg.policy = PolicyKind::Rat;
+        let mut sim = SmtSimulator::new(cfg, images(&[Benchmark::Art, Benchmark::Gzip]));
+        let done = sim.run_until_quota(2_000, 6_000_000);
+        assert!(done, "RaT with 96 registers must still make progress");
+    }
+
+    #[test]
+    #[should_panic(expected = "register file too small")]
+    fn too_many_threads_for_registers_panics() {
+        let mut cfg = SmtConfig::hpca2008_baseline();
+        cfg.int_regs = 64;
+        cfg.fp_regs = 64;
+        let _ = SmtSimulator::new(
+            cfg,
+            images(&[Benchmark::Gzip, Benchmark::Bzip2, Benchmark::Eon]),
+        );
+    }
+}

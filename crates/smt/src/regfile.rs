@@ -1,0 +1,208 @@
+//! Physical register file with free list, readiness, INV bits and
+//! runahead-episode ownership tracking.
+
+use crate::types::{PhysReg, ThreadId};
+
+/// One class (INT or FP) of physical registers.
+///
+/// Besides the usual free list and per-register ready bit, each register
+/// carries:
+///
+/// * an **INV bit** — the runahead invalid-value marker of the paper
+///   (§3.1): set when the producing instruction's result is bogus;
+/// * an **episode bit** — set on registers allocated during (or in flight
+///   at the start of) a runahead episode, so pseudo-retirement can free
+///   them early and episode exit can sweep the stragglers. Registers
+///   holding the checkpointed architectural state never carry the episode
+///   bit, which is what pins them.
+#[derive(Clone, Debug)]
+pub struct PhysRegFile {
+    ready: Vec<bool>,
+    inv: Vec<bool>,
+    episode: Vec<bool>,
+    free: Vec<PhysReg>,
+    owner: Vec<ThreadId>,
+    allocated: Vec<bool>,
+    per_thread: Vec<usize>,
+    capacity: usize,
+}
+
+impl PhysRegFile {
+    /// Creates a register file of `capacity` registers, all free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` or `num_threads == 0`.
+    pub fn new(capacity: usize, num_threads: usize) -> Self {
+        assert!(capacity > 0, "register file must have capacity");
+        assert!(num_threads > 0, "need at least one thread");
+        PhysRegFile {
+            ready: vec![false; capacity],
+            inv: vec![false; capacity],
+            episode: vec![false; capacity],
+            free: (0..capacity).rev().collect(),
+            owner: vec![0; capacity],
+            allocated: vec![false; capacity],
+            per_thread: vec![0; num_threads],
+            capacity,
+        }
+    }
+
+    /// Total registers.
+    #[allow(dead_code)] // API completeness; exercised via config asserts
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Currently free registers.
+    pub fn free_count(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Registers currently allocated to `tid`.
+    pub fn allocated(&self, tid: ThreadId) -> usize {
+        self.per_thread[tid]
+    }
+
+    /// Allocates a register for `tid` (not ready, not INV). Returns `None`
+    /// when the free list is empty — the caller must stall dispatch.
+    pub fn alloc(&mut self, tid: ThreadId) -> Option<PhysReg> {
+        let p = self.free.pop()?;
+        self.ready[p] = false;
+        self.inv[p] = false;
+        self.episode[p] = false;
+        self.owner[p] = tid;
+        self.allocated[p] = true;
+        self.per_thread[tid] += 1;
+        Some(p)
+    }
+
+    /// Whether `p` is currently allocated to `tid`. Runahead episode exit
+    /// uses this to skip episode-list entries that were already freed by
+    /// pseudo-retirement and re-allocated elsewhere.
+    #[inline]
+    pub fn owned_by(&self, p: PhysReg, tid: ThreadId) -> bool {
+        self.allocated[p] && self.owner[p] == tid
+    }
+
+    /// Returns `p` to the free list.
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics on double-free (register already free).
+    pub fn free(&mut self, p: PhysReg, tid: ThreadId) {
+        assert!(
+            self.allocated[p] && self.owner[p] == tid,
+            "freeing register {p} not owned by thread {tid}"
+        );
+        self.ready[p] = false;
+        self.inv[p] = false;
+        self.episode[p] = false;
+        self.allocated[p] = false;
+        debug_assert!(self.per_thread[tid] > 0);
+        self.per_thread[tid] -= 1;
+        self.free.push(p);
+    }
+
+    /// Marks `p` ready (its value — possibly bogus — is available).
+    #[inline]
+    pub fn set_ready(&mut self, p: PhysReg) {
+        self.ready[p] = true;
+    }
+
+    /// Whether `p` is ready.
+    #[inline]
+    pub fn is_ready(&self, p: PhysReg) -> bool {
+        self.ready[p]
+    }
+
+    /// Sets the INV bit (bogus runahead value).
+    #[inline]
+    pub fn set_inv(&mut self, p: PhysReg) {
+        self.inv[p] = true;
+    }
+
+    /// Whether `p` carries a bogus value.
+    #[inline]
+    pub fn is_inv(&self, p: PhysReg) -> bool {
+        self.inv[p]
+    }
+
+    /// Marks `p` as belonging to the current runahead episode of its
+    /// owning thread.
+    #[inline]
+    pub fn mark_episode(&mut self, p: PhysReg) {
+        self.episode[p] = true;
+    }
+
+    /// Whether `p` belongs to a runahead episode (and may therefore be
+    /// freed by pseudo-retirement / episode exit).
+    #[inline]
+    pub fn in_episode(&self, p: PhysReg) -> bool {
+        self.episode[p]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_roundtrip() {
+        let mut rf = PhysRegFile::new(4, 2);
+        assert_eq!(rf.free_count(), 4);
+        let a = rf.alloc(0).unwrap();
+        let b = rf.alloc(1).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(rf.allocated(0), 1);
+        assert_eq!(rf.allocated(1), 1);
+        rf.free(a, 0);
+        assert_eq!(rf.free_count(), 3);
+        assert_eq!(rf.allocated(0), 0);
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut rf = PhysRegFile::new(2, 1);
+        assert!(rf.alloc(0).is_some());
+        assert!(rf.alloc(0).is_some());
+        assert!(rf.alloc(0).is_none());
+    }
+
+    #[test]
+    fn flags_reset_on_alloc() {
+        let mut rf = PhysRegFile::new(1, 1);
+        let p = rf.alloc(0).unwrap();
+        rf.set_ready(p);
+        rf.set_inv(p);
+        rf.mark_episode(p);
+        rf.free(p, 0);
+        let q = rf.alloc(0).unwrap();
+        assert_eq!(p, q);
+        assert!(!rf.is_ready(q));
+        assert!(!rf.is_inv(q));
+        assert!(!rf.in_episode(q));
+    }
+
+    #[test]
+    fn owner_tracking() {
+        let mut rf = PhysRegFile::new(2, 2);
+        let p = rf.alloc(1).unwrap();
+        assert!(rf.owned_by(p, 1));
+        assert!(!rf.owned_by(p, 0));
+        rf.free(p, 1);
+        assert!(!rf.owned_by(p, 1));
+        let q = rf.alloc(0).unwrap();
+        assert_eq!(p, q);
+        assert!(rf.owned_by(q, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "not owned")]
+    fn double_free_panics() {
+        let mut rf = PhysRegFile::new(2, 1);
+        let p = rf.alloc(0).unwrap();
+        rf.free(p, 0);
+        rf.free(p, 0);
+    }
+}

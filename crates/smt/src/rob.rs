@@ -1,0 +1,275 @@
+//! Reorder buffer entries and the per-thread program-order queue.
+//!
+//! The paper's SMT uses a single *shared* 512-entry ROB. We model it as a
+//! shared capacity budget (owned by the pipeline) over per-thread
+//! program-order queues; an entry is addressed by its thread and dynamic
+//! sequence number, which is O(1) because a thread's in-flight sequence
+//! numbers are always contiguous (commit pops the front, squash pops the
+//! back).
+
+use std::collections::VecDeque;
+
+use rat_isa::{ArchReg, ExecRecord, InstructionKind};
+
+use crate::types::{Cycle, ExecMode, IqKind, PhysReg, RegClass, ThreadId};
+
+/// Pipeline state of one in-flight instruction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EntryState {
+    /// Dispatched, waiting in an issue queue for operands/FU.
+    WaitIssue,
+    /// Issued to a functional unit / the memory system.
+    Executing,
+    /// Result produced (or folded); eligible to commit / pseudo-retire.
+    Done,
+}
+
+/// One reorder-buffer entry.
+#[derive(Clone, Debug)]
+pub struct RobEntry {
+    /// Owning hardware thread.
+    #[allow(dead_code)] // kept for diagnostics/debug formatting
+    pub tid: ThreadId,
+    /// Per-thread dynamic sequence number (matches the oracle).
+    pub seq: u64,
+    /// Global dispatch order stamp — unique per dispatched instance, used
+    /// for age-ordered select and to invalidate stale wakeups/completions
+    /// after a squash re-uses sequence numbers.
+    pub gseq: u64,
+    /// The functional execution record (PC, addresses, outcomes, result).
+    pub rec: ExecRecord,
+    /// Cached instruction kind.
+    pub kind: InstructionKind,
+    /// Mode the instruction was dispatched in.
+    pub mode: ExecMode,
+    /// Pipeline state.
+    pub state: EntryState,
+    /// Runahead INV bit: result is bogus; instruction was or will be
+    /// folded.
+    pub inv: bool,
+    /// Destination: class + allocated physical register.
+    pub dst: Option<(RegClass, PhysReg)>,
+    /// Destination architectural register (for map recovery / arch-INV).
+    pub dst_arch: Option<ArchReg>,
+    /// Previous speculative mapping of `dst_arch` (walk-back recovery).
+    pub prev: Option<PhysReg>,
+    /// Source physical registers (after rename).
+    pub srcs: [Option<(RegClass, PhysReg)>; 2],
+    /// Which issue queue the entry occupies while `WaitIssue`.
+    pub iq: Option<IqKind>,
+    /// Number of not-yet-ready sources (wakeup countdown).
+    pub waiting: u8,
+    /// Cycle the result becomes available (set at issue).
+    pub ready_at: Cycle,
+    /// For loads: whether the access left L1 pending (in-flight D-miss).
+    pub dmiss: bool,
+    /// For loads: the access ultimately waits on main memory — the
+    /// long-latency trigger for STALL/FLUSH/RaT.
+    pub l2_miss: bool,
+    /// For conditional branches: predicted direction.
+    pub predicted: Option<bool>,
+    /// For conditional branches: prediction was wrong (fetch is gated on
+    /// this entry until it resolves).
+    pub mispredicted: bool,
+    /// Branch history snapshot at prediction time (perceptron training).
+    pub hist_bits: u64,
+}
+
+impl RobEntry {
+    /// Whether this entry is a conditional branch.
+    pub fn is_branch(&self) -> bool {
+        self.kind == InstructionKind::Branch
+    }
+
+    /// Whether this entry is a load.
+    pub fn is_load(&self) -> bool {
+        self.kind == InstructionKind::Load
+    }
+
+    /// Whether this entry is a store.
+    pub fn is_store(&self) -> bool {
+        self.kind == InstructionKind::Store
+    }
+}
+
+/// A thread's program-order window into the shared ROB.
+#[derive(Clone, Debug, Default)]
+pub struct ThreadRob {
+    entries: VecDeque<RobEntry>,
+    front_seq: u64,
+}
+
+impl ThreadRob {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of in-flight entries for this thread.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the thread has no in-flight instructions.
+    #[allow(dead_code)] // used by tests
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Appends `entry` in program order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entry.seq` is not contiguous with the queue.
+    pub fn push(&mut self, entry: RobEntry) {
+        if self.entries.is_empty() {
+            self.front_seq = entry.seq;
+        } else {
+            debug_assert_eq!(
+                entry.seq,
+                self.front_seq + self.entries.len() as u64,
+                "ROB sequence discontinuity"
+            );
+        }
+        self.entries.push_back(entry);
+    }
+
+    /// The oldest in-flight entry.
+    pub fn front(&self) -> Option<&RobEntry> {
+        self.entries.front()
+    }
+
+    /// Mutable access to the oldest entry.
+    #[allow(dead_code)] // API completeness
+    pub fn front_mut(&mut self) -> Option<&mut RobEntry> {
+        self.entries.front_mut()
+    }
+
+    /// Removes and returns the oldest entry (commit / pseudo-retire).
+    pub fn pop_front(&mut self) -> Option<RobEntry> {
+        let e = self.entries.pop_front();
+        if e.is_some() {
+            self.front_seq += 1;
+        }
+        e
+    }
+
+    /// Removes and returns the youngest entry (squash walk-back).
+    pub fn pop_back(&mut self) -> Option<RobEntry> {
+        self.entries.pop_back()
+    }
+
+    /// The youngest in-flight entry.
+    pub fn back(&self) -> Option<&RobEntry> {
+        self.entries.back()
+    }
+
+    /// Looks up an entry by sequence number.
+    pub fn get(&self, seq: u64) -> Option<&RobEntry> {
+        let idx = seq.checked_sub(self.front_seq)? as usize;
+        self.entries.get(idx)
+    }
+
+    /// Mutable lookup by sequence number.
+    pub fn get_mut(&mut self, seq: u64) -> Option<&mut RobEntry> {
+        let idx = seq.checked_sub(self.front_seq)? as usize;
+        self.entries.get_mut(idx)
+    }
+
+    /// Iterates oldest → youngest.
+    pub fn iter(&self) -> impl Iterator<Item = &RobEntry> {
+        self.entries.iter()
+    }
+
+    /// Mutable iteration oldest → youngest.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut RobEntry> {
+        self.entries.iter_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rat_isa::{Instruction, Pc};
+
+    fn entry(seq: u64) -> RobEntry {
+        let rec = ExecRecord {
+            pc: Pc::new(0),
+            inst: Instruction::Nop,
+            next_pc: Pc::new(1),
+            eff_addr: None,
+            taken: false,
+            loaded: None,
+            result: None,
+            seq,
+        };
+        RobEntry {
+            tid: 0,
+            seq,
+            gseq: seq,
+            rec,
+            kind: InstructionKind::Nop,
+            mode: ExecMode::Normal,
+            state: EntryState::Done,
+            inv: false,
+            dst: None,
+            dst_arch: None,
+            prev: None,
+            srcs: [None, None],
+            iq: None,
+            waiting: 0,
+            ready_at: 0,
+            dmiss: false,
+            l2_miss: false,
+            predicted: None,
+            mispredicted: false,
+            hist_bits: 0,
+        }
+    }
+
+    #[test]
+    fn seq_lookup_is_positional() {
+        let mut rob = ThreadRob::new();
+        for s in 10..15 {
+            rob.push(entry(s));
+        }
+        assert_eq!(rob.len(), 5);
+        assert_eq!(rob.get(12).unwrap().seq, 12);
+        assert!(rob.get(9).is_none());
+        assert!(rob.get(15).is_none());
+    }
+
+    #[test]
+    fn pop_front_advances_base() {
+        let mut rob = ThreadRob::new();
+        for s in 0..3 {
+            rob.push(entry(s));
+        }
+        assert_eq!(rob.pop_front().unwrap().seq, 0);
+        assert_eq!(rob.get(1).unwrap().seq, 1);
+        assert!(rob.get(0).is_none());
+    }
+
+    #[test]
+    fn squash_then_refill_reuses_seqs() {
+        let mut rob = ThreadRob::new();
+        for s in 0..4 {
+            rob.push(entry(s));
+        }
+        assert_eq!(rob.pop_back().unwrap().seq, 3);
+        assert_eq!(rob.pop_back().unwrap().seq, 2);
+        rob.push(entry(2));
+        assert_eq!(rob.get(2).unwrap().seq, 2);
+        assert_eq!(rob.len(), 3);
+    }
+
+    #[test]
+    fn empty_reset() {
+        let mut rob = ThreadRob::new();
+        rob.push(entry(7));
+        rob.pop_front();
+        assert!(rob.is_empty());
+        rob.push(entry(100));
+        assert_eq!(rob.front().unwrap().seq, 100);
+    }
+}

@@ -1,0 +1,80 @@
+//! Small shared types of the pipeline model.
+
+/// Hardware thread identifier (0-based context number).
+pub type ThreadId = usize;
+
+/// A simulation cycle (re-exported from the memory model so all crates
+/// agree on the clock).
+pub type Cycle = rat_mem::Cycle;
+
+/// A physical register name (index into one class's register file).
+pub type PhysReg = usize;
+
+/// Register class: the paper's SMT has split INT/FP register files and
+/// issue resources.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum RegClass {
+    /// Integer register file.
+    Int,
+    /// Floating-point register file.
+    Fp,
+}
+
+/// Which issue queue an instruction dispatches into (Table 1: 64-entry
+/// INT, FP and load/store queues).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum IqKind {
+    /// Integer ALU/branch queue.
+    Int,
+    /// Floating-point queue.
+    Fp,
+    /// Load/store queue.
+    Ls,
+}
+
+impl IqKind {
+    /// Index for array-of-queues storage.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            IqKind::Int => 0,
+            IqKind::Fp => 1,
+            IqKind::Ls => 2,
+        }
+    }
+}
+
+/// Execution mode of a hardware thread: normal or runahead (speculative
+/// pre-execution under a long-latency miss).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum ExecMode {
+    /// Architecturally visible execution.
+    #[default]
+    Normal,
+    /// Runahead: speculative, discarded at episode end.
+    Runahead,
+}
+
+impl ExecMode {
+    /// 0 for normal, 1 for runahead (stats indexing).
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            ExecMode::Normal => 0,
+            ExecMode::Runahead => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_distinct() {
+        assert_ne!(IqKind::Int.index(), IqKind::Fp.index());
+        assert_ne!(IqKind::Fp.index(), IqKind::Ls.index());
+        assert_eq!(ExecMode::Normal.index(), 0);
+        assert_eq!(ExecMode::Runahead.index(), 1);
+    }
+}

@@ -1,0 +1,44 @@
+//! # rat-workload — synthetic SPEC CPU2000-like workloads
+//!
+//! The paper evaluates on SPEC CPU2000 Alpha binaries. Those are not
+//! redistributable (and we have no Alpha toolchain), so this crate provides
+//! the substitution described in `DESIGN.md`: for every benchmark named in
+//! Table 2 of the paper, a **deterministic synthetic program** over the
+//! [`rat_isa`] instruction set whose *microarchitectural profile* — working
+//! set size, memory instruction fraction, FP share, branch predictability,
+//! and the shape of its memory-level parallelism (streaming vs. random vs.
+//! pointer-chasing) — matches the published characterization of that
+//! benchmark.
+//!
+//! The three access shapes matter because they interact differently with
+//! Runahead Threads:
+//!
+//! * **streaming** (art, swim, mgrid…): independent loads over a large
+//!   array — runahead runs ahead and prefetches future lines, huge MLP;
+//! * **random** (twolf, vpr…): LCG-generated addresses — independent, so
+//!   runahead still exposes MLP;
+//! * **pointer-chasing** (mcf, parser…): each load's address depends on the
+//!   previous load's value — after the first miss the chase register is INV
+//!   and runahead cannot prefetch the chain, exactly the hard case for
+//!   runahead execution.
+//!
+//! # Example
+//!
+//! ```
+//! use rat_workload::{Benchmark, ThreadImage};
+//!
+//! let img = ThreadImage::generate(Benchmark::Mcf, 42);
+//! let mut cpu = img.build_cpu();
+//! for _ in 0..1000 {
+//!     cpu.step(); // functionally executes the synthetic mcf loop
+//! }
+//! assert_eq!(cpu.retired(), 1000);
+//! ```
+
+mod generator;
+mod mixes;
+mod profile;
+
+pub use generator::ThreadImage;
+pub use mixes::{mixes_for_group, Mix, WorkloadGroup, ALL_GROUPS};
+pub use profile::{Benchmark, BenchmarkProfile, ThreadClass, ALL_BENCHMARKS};

@@ -1,0 +1,286 @@
+//! Benchmark names and their microarchitectural profiles.
+
+use std::fmt;
+
+/// Thread classification used by the paper (§4): benchmarks are grouped by
+/// their L2 miss rate into high-ILP threads and memory-bound threads.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ThreadClass {
+    /// High instruction-level parallelism, cache-resident working set.
+    Ilp,
+    /// Memory-bound: working set far exceeds the shared L2.
+    Mem,
+}
+
+impl fmt::Display for ThreadClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ThreadClass::Ilp => write!(f, "ILP"),
+            ThreadClass::Mem => write!(f, "MEM"),
+        }
+    }
+}
+
+macro_rules! benchmarks {
+    ($($variant:ident => $name:literal),+ $(,)?) => {
+        /// Every SPEC CPU2000 benchmark that appears in Table 2 of the
+        /// paper, reproduced as a synthetic program (see crate docs).
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+        pub enum Benchmark {
+            $(#[doc = $name] $variant,)+
+        }
+
+        /// All benchmarks, in alphabetical order.
+        pub const ALL_BENCHMARKS: &[Benchmark] = &[$(Benchmark::$variant,)+];
+
+        impl Benchmark {
+            /// The lowercase SPEC name (e.g. `"mcf"`).
+            pub fn name(self) -> &'static str {
+                match self {
+                    $(Benchmark::$variant => $name,)+
+                }
+            }
+
+            /// Parses a lowercase SPEC name.
+            pub fn from_name(name: &str) -> Option<Benchmark> {
+                match name {
+                    $($name => Some(Benchmark::$variant),)+
+                    _ => None,
+                }
+            }
+        }
+    };
+}
+
+benchmarks! {
+    Ammp => "ammp",
+    Applu => "applu",
+    Apsi => "apsi",
+    Art => "art",
+    Bzip2 => "bzip2",
+    Crafty => "crafty",
+    Eon => "eon",
+    Equake => "equake",
+    Fma3d => "fma3d",
+    Galgel => "galgel",
+    Gap => "gap",
+    Gcc => "gcc",
+    Gzip => "gzip",
+    Lucas => "lucas",
+    Mcf => "mcf",
+    Mesa => "mesa",
+    Mgrid => "mgrid",
+    Parser => "parser",
+    Perl => "perl",
+    Swim => "swim",
+    Twolf => "twolf",
+    Vortex => "vortex",
+    Vpr => "vpr",
+    Wupwise => "wupwise",
+}
+
+impl fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The generation parameters of one synthetic benchmark.
+///
+/// All fractions are in `[0, 1]`. `stream + random + chase` must sum to 1
+/// (validated by [`BenchmarkProfile::validate`]).
+#[derive(Clone, Copy, Debug)]
+pub struct BenchmarkProfile {
+    /// Which benchmark this profiles.
+    pub bench: Benchmark,
+    /// ILP or MEM class (paper §4, drives Table 2 grouping).
+    pub class: ThreadClass,
+    /// Total data working set in KiB (rounded up to a power of two by the
+    /// generator). MEM benchmarks exceed the 1 MB L2 by design.
+    pub ws_kb: u32,
+    /// Extent of the *random-access* region in KiB (the "hot set"); small
+    /// for ILP benchmarks so their random accesses are cache-resident.
+    pub hot_kb: u32,
+    /// Fraction of dynamic instructions that are loads/stores.
+    pub mem_fraction: f64,
+    /// Of memory operations, the fraction that are stores.
+    pub store_fraction: f64,
+    /// Of compute operations (and loads, for register targeting), the
+    /// fraction in the FP pipeline.
+    pub fp_fraction: f64,
+    /// Fraction of dynamic instructions that are conditional branches.
+    pub branch_fraction: f64,
+    /// Of branches, the fraction that are data-dependent with a biased
+    /// random outcome (the rest are highly predictable).
+    pub branch_noise: f64,
+    /// Of loads: fraction that stream sequentially over the working set.
+    pub stream: f64,
+    /// Of loads: fraction at LCG-random addresses in the hot set.
+    pub random: f64,
+    /// Of loads: fraction that pointer-chase a random cyclic list.
+    pub chase: f64,
+    /// Probability that a compute op reads the most recently produced
+    /// value (higher = longer dependence chains = less ILP).
+    pub dep_density: f64,
+}
+
+impl BenchmarkProfile {
+    /// Checks internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fraction is out of range or the access-shape fractions
+    /// do not sum to 1.
+    pub fn validate(&self) {
+        let fr = [
+            self.mem_fraction,
+            self.store_fraction,
+            self.fp_fraction,
+            self.branch_fraction,
+            self.branch_noise,
+            self.stream,
+            self.random,
+            self.chase,
+            self.dep_density,
+        ];
+        for f in fr {
+            assert!((0.0..=1.0).contains(&f), "fraction {f} out of range");
+        }
+        let s = self.stream + self.random + self.chase;
+        assert!((s - 1.0).abs() < 1e-9, "access shares must sum to 1, got {s}");
+        assert!(self.ws_kb >= 16, "working set must be at least 16 KiB");
+        assert!(self.hot_kb >= 16, "hot set must be at least 16 KiB");
+        assert!(self.mem_fraction + self.branch_fraction < 0.9, "need room for compute");
+    }
+}
+
+impl Benchmark {
+    /// The benchmark's generation profile. Parameter choices follow the
+    /// published SPEC2000 characterizations: MEM benchmarks get multi-MB
+    /// working sets (mcf the largest, dominated by pointer chasing; art and
+    /// swim streaming), ILP benchmarks get cache-resident sets and highly
+    /// predictable branches.
+    pub fn profile(self) -> BenchmarkProfile {
+        use Benchmark as B;
+        use ThreadClass::{Ilp, Mem};
+        let p = |class,
+                 ws_kb,
+                 hot_kb,
+                 mem_fraction,
+                 store_fraction,
+                 fp_fraction,
+                 branch_fraction,
+                 branch_noise,
+                 stream,
+                 random,
+                 chase,
+                 dep_density| BenchmarkProfile {
+            bench: self,
+            class,
+            ws_kb,
+            hot_kb,
+            mem_fraction,
+            store_fraction,
+            fp_fraction,
+            branch_fraction,
+            branch_noise,
+            stream,
+            random,
+            chase,
+            dep_density,
+        };
+        let prof = match self {
+            // ---- memory-bound (MEM) ----
+            // mcf: dominated by pointer chasing over a multi-MB structure;
+            // some locality survives (the chase region partially L2-caches).
+            B::Mcf => p(Mem, 4096, 2048, 0.35, 0.10, 0.0, 0.20, 0.25, 0.05, 0.45, 0.50, 0.50),
+            B::Art => p(Mem, 8192, 4096, 0.30, 0.05, 0.60, 0.10, 0.05, 0.85, 0.15, 0.0, 0.30),
+            B::Swim => p(Mem, 8192, 4096, 0.32, 0.15, 0.70, 0.06, 0.02, 0.90, 0.10, 0.0, 0.30),
+            B::Lucas => p(Mem, 4096, 2048, 0.28, 0.10, 0.75, 0.05, 0.02, 0.80, 0.20, 0.0, 0.40),
+            B::Applu => p(Mem, 4096, 2048, 0.30, 0.15, 0.70, 0.08, 0.05, 0.75, 0.25, 0.0, 0.40),
+            B::Equake => p(Mem, 4096, 2048, 0.33, 0.10, 0.55, 0.12, 0.10, 0.50, 0.35, 0.15, 0.45),
+            B::Parser => p(Mem, 2048, 1024, 0.30, 0.12, 0.0, 0.22, 0.20, 0.10, 0.55, 0.35, 0.50),
+            B::Twolf => p(Mem, 2048, 2048, 0.32, 0.10, 0.0, 0.20, 0.22, 0.05, 0.80, 0.15, 0.50),
+            B::Vpr => p(Mem, 2048, 2048, 0.30, 0.10, 0.10, 0.18, 0.20, 0.10, 0.75, 0.15, 0.50),
+            B::Ammp => p(Mem, 4096, 2048, 0.30, 0.10, 0.60, 0.10, 0.10, 0.40, 0.40, 0.20, 0.45),
+            // ---- high-ILP (ILP) ----
+            // Cache-resident: stream regions of 16-32 KiB (one pass is a
+            // few thousand instructions, so steady state is reached fast)
+            // and hot sets that fit the 64 KiB D-cache.
+            B::Apsi => p(Ilp, 16, 16, 0.22, 0.10, 0.60, 0.08, 0.03, 0.70, 0.30, 0.0, 0.25),
+            B::Eon => p(Ilp, 16, 16, 0.20, 0.10, 0.30, 0.12, 0.05, 0.60, 0.40, 0.0, 0.30),
+            B::Gcc => p(Ilp, 16, 16, 0.25, 0.12, 0.0, 0.20, 0.10, 0.50, 0.50, 0.0, 0.35),
+            B::Fma3d => p(Ilp, 16, 16, 0.22, 0.10, 0.60, 0.08, 0.04, 0.70, 0.30, 0.0, 0.30),
+            B::Mesa => p(Ilp, 16, 16, 0.20, 0.10, 0.50, 0.10, 0.05, 0.60, 0.40, 0.0, 0.30),
+            B::Mgrid => p(Ilp, 16, 16, 0.28, 0.12, 0.70, 0.04, 0.02, 0.90, 0.10, 0.0, 0.25),
+            B::Galgel => p(Ilp, 16, 16, 0.24, 0.10, 0.70, 0.05, 0.03, 0.80, 0.20, 0.0, 0.25),
+            B::Gzip => p(Ilp, 16, 16, 0.22, 0.12, 0.0, 0.15, 0.08, 0.60, 0.40, 0.0, 0.40),
+            B::Bzip2 => p(Ilp, 16, 16, 0.24, 0.12, 0.0, 0.15, 0.08, 0.60, 0.40, 0.0, 0.40),
+            B::Vortex => p(Ilp, 16, 16, 0.26, 0.14, 0.0, 0.16, 0.07, 0.55, 0.45, 0.0, 0.35),
+            B::Crafty => p(Ilp, 16, 16, 0.20, 0.10, 0.0, 0.18, 0.08, 0.50, 0.50, 0.0, 0.35),
+            B::Gap => p(Ilp, 16, 16, 0.22, 0.10, 0.0, 0.14, 0.06, 0.60, 0.40, 0.0, 0.35),
+            B::Perl => p(Ilp, 16, 16, 0.20, 0.10, 0.0, 0.18, 0.07, 0.55, 0.45, 0.0, 0.35),
+            B::Wupwise => p(Ilp, 16, 16, 0.24, 0.10, 0.60, 0.05, 0.02, 0.80, 0.20, 0.0, 0.25),
+        };
+        prof.validate();
+        prof
+    }
+
+    /// The benchmark's class (by construction of the profile).
+    pub fn class(self) -> ThreadClass {
+        self.profile().class
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_profiles_validate() {
+        for &b in ALL_BENCHMARKS {
+            b.profile().validate();
+        }
+    }
+
+    #[test]
+    fn name_roundtrip() {
+        for &b in ALL_BENCHMARKS {
+            assert_eq!(Benchmark::from_name(b.name()), Some(b));
+        }
+        assert_eq!(Benchmark::from_name("quake3"), None);
+    }
+
+    #[test]
+    fn mem_benchmarks_exceed_l2() {
+        for &b in ALL_BENCHMARKS {
+            let p = b.profile();
+            match p.class {
+                ThreadClass::Mem => assert!(p.ws_kb >= 2048, "{b} too small for MEM"),
+                ThreadClass::Ilp => assert!(p.ws_kb <= 64, "{b} too large for ILP"),
+            }
+        }
+    }
+
+    #[test]
+    fn table2_class_expectations() {
+        use Benchmark as B;
+        for b in [B::Mcf, B::Art, B::Swim, B::Twolf, B::Vpr, B::Equake, B::Parser, B::Lucas, B::Applu, B::Ammp] {
+            assert_eq!(b.class(), ThreadClass::Mem, "{b}");
+        }
+        for b in [B::Apsi, B::Eon, B::Gcc, B::Gzip, B::Bzip2, B::Vortex, B::Crafty, B::Fma3d, B::Mesa, B::Mgrid, B::Galgel, B::Gap, B::Perl, B::Wupwise] {
+            assert_eq!(b.class(), ThreadClass::Ilp, "{b}");
+        }
+    }
+
+    #[test]
+    fn chase_heavy_benchmarks_are_mcf_like() {
+        assert!(Benchmark::Mcf.profile().chase >= 0.5);
+        assert!(Benchmark::Art.profile().stream > 0.5);
+    }
+
+    #[test]
+    fn benchmark_count_matches_table2() {
+        assert_eq!(ALL_BENCHMARKS.len(), 24);
+    }
+}

