@@ -1,10 +1,12 @@
 //! Figure 2 — throughput and fairness of the dynamic resource control
 //! policies: ICOUNT (baseline), DCRA, Hill Climbing and RaT.
+//!
+//! The group × policy × mix matrix runs in parallel over all cores
+//! (`--threads 1` for a serial run; the tables are identical).
 
-use rat_bench::{HarnessArgs, TableWriter};
+use rat_bench::{policy_matrix, HarnessArgs, TableWriter};
 use rat_core::{RunConfig, Runner};
 use rat_smt::{PolicyKind, SmtConfig};
-use rat_workload::{mixes_for_group, ALL_GROUPS};
 
 const POLICIES: [PolicyKind; 4] = [
     PolicyKind::Icount,
@@ -21,25 +23,21 @@ fn main() {
         seed: args.seed,
         ..RunConfig::default()
     };
-    let mut runner = Runner::new(SmtConfig::hpca2008_baseline(), run);
+    let runner = Runner::new(SmtConfig::hpca2008_baseline(), run);
+
+    let matrix = policy_matrix(&runner, &POLICIES, args.mixes, args.threads);
 
     let mut thr = TableWriter::new(&["group", "ICOUNT", "DCRA", "HILL", "RaT"]);
     let mut fair = TableWriter::new(&["group", "ICOUNT", "DCRA", "HILL", "RaT"]);
-    for &g in ALL_GROUPS {
-        let mut mixes = mixes_for_group(g);
-        if args.mixes > 0 {
-            mixes.truncate(args.mixes);
-        }
+    for (g, summaries) in &matrix {
         let mut trow = vec![g.name().to_string()];
         let mut frow = vec![g.name().to_string()];
-        for policy in POLICIES {
-            let s = runner.run_group(&mixes, policy);
+        for s in summaries {
             trow.push(format!("{:.3}", s.throughput));
             frow.push(format!("{:.3}", s.fairness));
         }
         thr.row(trow);
         fair.row(frow);
-        eprintln!("fig2: {} done", g.name());
     }
     println!("Figure 2(a). Throughput (avg IPC) per resource control policy\n");
     print!("{}", thr.render());

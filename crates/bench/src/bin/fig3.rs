@@ -1,12 +1,16 @@
 //! Figure 3 — Energy-Delay² (executed instructions × CPI²) of every
 //! evaluated technique, normalized to the ICOUNT baseline per group.
+//!
+//! ICOUNT rides along as the first policy column of the parallel sweep
+//! and provides the per-group normalization denominator.
 
-use rat_bench::{HarnessArgs, TableWriter};
+use rat_bench::{policy_matrix, HarnessArgs, TableWriter};
 use rat_core::{RunConfig, Runner};
 use rat_smt::{PolicyKind, SmtConfig};
-use rat_workload::{mixes_for_group, ALL_GROUPS};
 
-const POLICIES: [PolicyKind; 5] = [
+/// ICOUNT first (the baseline), then the techniques under evaluation.
+const POLICIES: [PolicyKind; 6] = [
+    PolicyKind::Icount,
     PolicyKind::Stall,
     PolicyKind::Flush,
     PolicyKind::Dcra,
@@ -22,22 +26,18 @@ fn main() {
         seed: args.seed,
         ..RunConfig::default()
     };
-    let mut runner = Runner::new(SmtConfig::hpca2008_baseline(), run);
+    let runner = Runner::new(SmtConfig::hpca2008_baseline(), run);
+
+    let matrix = policy_matrix(&runner, &POLICIES, args.mixes, args.threads);
 
     let mut t = TableWriter::new(&["group", "STALL", "FLUSH", "DCRA", "HILL", "RaT"]);
-    for &g in ALL_GROUPS {
-        let mut mixes = mixes_for_group(g);
-        if args.mixes > 0 {
-            mixes.truncate(args.mixes);
-        }
-        let base = runner.run_group(&mixes, PolicyKind::Icount).ed2;
+    for (g, summaries) in &matrix {
+        let base = summaries[0].ed2;
         let mut row = vec![g.name().to_string()];
-        for policy in POLICIES {
-            let s = runner.run_group(&mixes, policy);
+        for s in &summaries[1..] {
             row.push(format!("{:.3}", s.ed2 / base));
         }
         t.row(row);
-        eprintln!("fig3: {} done", g.name());
     }
     println!("Figure 3. ED² normalized to ICOUNT (lower is better)\n");
     print!("{}", t.render());

@@ -9,11 +9,14 @@
 //! * **Overhead**: change of the *other* threads' IPC when a thread runs
 //!   ahead without prefetching, vs. the ICOUNT baseline — the worst case
 //!   where all runahead work is useless.
+//!
+//! Every (mix × variant) simulation is independent, so the whole
+//! ablation matrix runs in parallel over all cores.
 
-use rat_bench::{HarnessArgs, TableWriter};
-use rat_core::{RunConfig, Runner};
+use rat_bench::{select_mixes, HarnessArgs, TableWriter};
+use rat_core::{parallel, MixResult, RunConfig, Runner};
 use rat_smt::{PolicyKind, RunaheadVariant, SmtConfig};
-use rat_workload::{mixes_for_group, Mix, ThreadClass, ALL_GROUPS};
+use rat_workload::{Mix, ThreadClass, ALL_GROUPS};
 
 fn variant_config(variant: RunaheadVariant) -> SmtConfig {
     let mut cfg = SmtConfig::hpca2008_baseline();
@@ -39,6 +42,12 @@ fn ilp_side_ipc(mix: &Mix, ipcs: &[f64]) -> Option<f64> {
     }
 }
 
+/// The four simulated configurations per mix, in task-index order.
+const FULL: usize = 0;
+const NOPF: usize = 1;
+const NOFETCH: usize = 2;
+const BASE: usize = 3;
+
 fn main() {
     let args = HarnessArgs::from_env();
     let run = RunConfig {
@@ -48,31 +57,60 @@ fn main() {
         ..RunConfig::default()
     };
 
+    let runners = [
+        Runner::new(variant_config(RunaheadVariant::Full), run),
+        Runner::new(variant_config(RunaheadVariant::NoPrefetch), run),
+        Runner::new(variant_config(RunaheadVariant::NoFetch), run),
+        Runner::new(SmtConfig::hpca2008_baseline(), run),
+    ];
+    let policy_of = |which: usize| {
+        if which == BASE {
+            PolicyKind::Icount
+        } else {
+            PolicyKind::Rat
+        }
+    };
+
+    let groups: Vec<(usize, Vec<Mix>)> = ALL_GROUPS
+        .iter()
+        .enumerate()
+        .map(|(gi, &g)| (gi, select_mixes(g, args.mixes)))
+        .collect();
+    let n_variants = runners.len();
+    let tasks: Vec<(usize, usize, usize)> = groups
+        .iter()
+        .flat_map(|(gi, mixes)| {
+            (0..mixes.len()).flat_map(move |mi| (0..n_variants).map(move |which| (*gi, mi, which)))
+        })
+        .collect();
+    let results: Vec<MixResult> = parallel::par_map(args.threads, &tasks, |_, &(gi, mi, which)| {
+        runners[which].run_mix(&groups[gi].1[mi], policy_of(which))
+    });
+
+    // Regroup: per group, per mix, the four variant results.
+    let mut per_group: Vec<Vec<[Option<MixResult>; 4]>> = groups
+        .iter()
+        .map(|(_, mixes)| (0..mixes.len()).map(|_| [None, None, None, None]).collect())
+        .collect();
+    for (&(gi, mi, which), result) in tasks.iter().zip(results) {
+        per_group[gi][mi][which] = Some(result);
+    }
+
     let mut t = TableWriter::new(&[
         "group",
         "prefetching(%)",
         "resource-avail(%)",
         "overhead(%)",
     ]);
-
-    for &g in ALL_GROUPS {
-        let mut mixes = mixes_for_group(g);
-        if args.mixes > 0 {
-            mixes.truncate(args.mixes);
-        }
-
-        let mut full = Runner::new(variant_config(RunaheadVariant::Full), run);
-        let mut nopf = Runner::new(variant_config(RunaheadVariant::NoPrefetch), run);
-        let mut nofetch = Runner::new(variant_config(RunaheadVariant::NoFetch), run);
-        let mut base = Runner::new(SmtConfig::hpca2008_baseline(), run);
-
+    for (gi, &g) in ALL_GROUPS.iter().enumerate() {
         let (mut pf_gain, mut ra_gain) = (0.0, 0.0);
         let (mut ovh_sum, mut ovh_n) = (0.0, 0usize);
-        for mix in &mixes {
-            let r_full = full.run_mix(mix, PolicyKind::Rat);
-            let r_nopf = nopf.run_mix(mix, PolicyKind::Rat);
-            let r_nofetch = nofetch.run_mix(mix, PolicyKind::Rat);
-            let r_base = base.run_mix(mix, PolicyKind::Icount);
+        for (mi, mix) in groups[gi].1.iter().enumerate() {
+            let cell = &per_group[gi][mi];
+            let r_full = cell[FULL].as_ref().expect("ran");
+            let r_nopf = cell[NOPF].as_ref().expect("ran");
+            let r_nofetch = cell[NOFETCH].as_ref().expect("ran");
+            let r_base = cell[BASE].as_ref().expect("ran");
             pf_gain += r_full.throughput() / r_nopf.throughput() - 1.0;
             ra_gain += r_nofetch.throughput() / r_base.throughput() - 1.0;
             if let (Some(a), Some(b)) = (
@@ -83,7 +121,7 @@ fn main() {
                 ovh_n += 1;
             }
         }
-        let n = mixes.len() as f64;
+        let n = groups[gi].1.len() as f64;
         let ovh = if ovh_n > 0 {
             format!("{:+.1}", 100.0 * ovh_sum / ovh_n as f64)
         } else {
@@ -95,7 +133,6 @@ fn main() {
             format!("{:+.1}", 100.0 * ra_gain / n),
             ovh,
         ]);
-        eprintln!("fig4: {} done", g.name());
     }
     println!("Figure 4. Sources of improvement of RaT\n");
     print!("{}", t.render());

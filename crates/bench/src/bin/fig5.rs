@@ -1,10 +1,13 @@
 //! Figure 5 — average allocated physical registers (INT+FP) per cycle, in
 //! normal mode vs. runahead mode, per workload group (RaT policy).
+//!
+//! Every mix simulation is independent, so all groups' mixes run in
+//! parallel over all cores.
 
-use rat_bench::{HarnessArgs, TableWriter};
-use rat_core::{RunConfig, Runner};
+use rat_bench::{select_mixes, HarnessArgs, TableWriter};
+use rat_core::{parallel, MixResult, RunConfig, Runner};
 use rat_smt::{PolicyKind, SmtConfig};
-use rat_workload::{mixes_for_group, ALL_GROUPS};
+use rat_workload::{Mix, ALL_GROUPS};
 
 fn main() {
     let args = HarnessArgs::from_env();
@@ -14,20 +17,31 @@ fn main() {
         seed: args.seed,
         ..RunConfig::default()
     };
-    let mut runner = Runner::new(SmtConfig::hpca2008_baseline(), run);
+    let runner = Runner::new(SmtConfig::hpca2008_baseline(), run);
+
+    let tasks: Vec<(usize, Mix)> = ALL_GROUPS
+        .iter()
+        .enumerate()
+        .flat_map(|(gi, &g)| {
+            select_mixes(g, args.mixes)
+                .into_iter()
+                .map(move |m| (gi, m))
+        })
+        .collect();
+    let results: Vec<MixResult> = parallel::par_map(args.threads, &tasks, |_, (_, mix)| {
+        runner.run_mix(mix, PolicyKind::Rat)
+    });
 
     let mut t = TableWriter::new(&["group", "normal mode", "runahead mode", "ratio"]);
-    for &g in ALL_GROUPS {
-        let mut mixes = mixes_for_group(g);
-        if args.mixes > 0 {
-            mixes.truncate(args.mixes);
-        }
+    for (gi, &g) in ALL_GROUPS.iter().enumerate() {
         // Per-cycle per-thread register occupancy, averaged over threads
         // that actually spent cycles in each mode.
         let (mut normal, mut nn) = (0.0, 0u64);
         let (mut ra, mut rn) = (0.0, 0u64);
-        for mix in &mixes {
-            let r = runner.run_mix(mix, PolicyKind::Rat);
+        for ((tgi, _), r) in tasks.iter().zip(&results) {
+            if *tgi != gi {
+                continue;
+            }
             for ts in &r.thread_stats {
                 if let Some(v) = ts.regs_per_cycle(0) {
                     normal += v;
@@ -44,14 +58,17 @@ fn main() {
         t.row(vec![
             g.name().to_string(),
             format!("{normal:.1}"),
-            if rn > 0 { format!("{ra:.1}") } else { "n/a".into() },
+            if rn > 0 {
+                format!("{ra:.1}")
+            } else {
+                "n/a".into()
+            },
             if rn > 0 {
                 format!("{:.2}", ra / normal)
             } else {
                 "n/a".into()
             },
         ]);
-        eprintln!("fig5: {} done", g.name());
     }
     println!("Figure 5. Avg physical registers (INT+FP) used per cycle per thread,");
     println!("normal vs runahead mode (RaT policy)\n");

@@ -6,11 +6,14 @@
 //! so the sweep starts at 96 registers for 2 threads and 160 for 4 threads
 //! (the paper's x-axis nominally starts at 64, while itself noting that 4
 //! threads already need 128 registers for precise state).
+//!
+//! Every (group × policy × register size) cell builds its own hardware
+//! configuration, so cells run in parallel over all cores.
 
-use rat_bench::{HarnessArgs, TableWriter};
-use rat_core::{RunConfig, Runner};
+use rat_bench::{select_mixes, HarnessArgs, TableWriter};
+use rat_core::{parallel, RunConfig, Runner};
 use rat_smt::{PolicyKind, SmtConfig};
-use rat_workload::{mixes_for_group, WorkloadGroup};
+use rat_workload::{Mix, WorkloadGroup};
 
 const SIZES_2T: [usize; 5] = [96, 128, 192, 256, 320];
 const SIZES_4T: [usize; 4] = [160, 192, 256, 320];
@@ -21,30 +24,40 @@ fn sweep(groups: &[WorkloadGroup], sizes: &[usize], args: &HarnessArgs) -> Table
     let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
     let mut t = TableWriter::new(&header_refs);
 
-    for &g in groups {
-        let mut mixes = mixes_for_group(g);
-        if args.mixes > 0 {
-            mixes.truncate(args.mixes);
-        }
-        for policy in [PolicyKind::Flush, PolicyKind::Rat] {
-            let mut row = vec![format!("{} {}", policy.name(), g.name())];
-            for &size in sizes {
-                let mut cfg = SmtConfig::hpca2008_baseline();
-                cfg.int_regs = size;
-                cfg.fp_regs = size;
-                let run = RunConfig {
-                    insts_per_thread: args.insts,
-                    warmup_insts: args.warmup,
-                    seed: args.seed,
-                    ..RunConfig::default()
-                };
-                let mut runner = Runner::new(cfg, run);
-                let s = runner.run_group(&mixes, policy);
-                row.push(format!("{:.3}", s.throughput));
-            }
-            t.row(row);
-            eprintln!("fig6: {} {} done", policy.name(), g.name());
-        }
+    let run = RunConfig {
+        insts_per_thread: args.insts,
+        warmup_insts: args.warmup,
+        seed: args.seed,
+        ..RunConfig::default()
+    };
+    let policies = [PolicyKind::Flush, PolicyKind::Rat];
+
+    // One task per (group, policy, register size) cell.
+    let mixes_of: Vec<Vec<Mix>> = groups
+        .iter()
+        .map(|&g| select_mixes(g, args.mixes))
+        .collect();
+    let tasks: Vec<(usize, PolicyKind, usize)> = (0..groups.len())
+        .flat_map(|gi| {
+            policies
+                .iter()
+                .flat_map(move |&p| sizes.iter().map(move |&size| (gi, p, size)))
+        })
+        .collect();
+    let throughputs = parallel::par_map(args.threads, &tasks, |_, &(gi, policy, size)| {
+        let mut cfg = SmtConfig::hpca2008_baseline();
+        cfg.int_regs = size;
+        cfg.fp_regs = size;
+        let runner = Runner::new(cfg, run);
+        runner.run_group(&mixes_of[gi], policy).throughput
+    });
+
+    // tasks iterate sizes innermost, so each row is a consecutive chunk.
+    for (chunk_idx, chunk) in throughputs.chunks(sizes.len()).enumerate() {
+        let (gi, policy, _) = tasks[chunk_idx * sizes.len()];
+        let mut row = vec![format!("{} {}", policy.name(), groups[gi].name())];
+        row.extend(chunk.iter().map(|thr| format!("{thr:.3}")));
+        t.row(row);
     }
     t
 }
@@ -53,14 +66,22 @@ fn main() {
     let args = HarnessArgs::from_env();
     println!("Figure 6(a). Throughput vs register file size, 2-thread workloads\n");
     let t2 = sweep(
-        &[WorkloadGroup::Ilp2, WorkloadGroup::Mix2, WorkloadGroup::Mem2],
+        &[
+            WorkloadGroup::Ilp2,
+            WorkloadGroup::Mix2,
+            WorkloadGroup::Mem2,
+        ],
         &SIZES_2T,
         &args,
     );
     print!("{}", t2.render());
     println!("\nFigure 6(b). Throughput vs register file size, 4-thread workloads\n");
     let t4 = sweep(
-        &[WorkloadGroup::Ilp4, WorkloadGroup::Mix4, WorkloadGroup::Mem4],
+        &[
+            WorkloadGroup::Ilp4,
+            WorkloadGroup::Mix4,
+            WorkloadGroup::Mem4,
+        ],
         &SIZES_4T,
         &args,
     );

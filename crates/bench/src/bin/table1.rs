@@ -8,11 +8,23 @@ fn main() {
     let h = &c.hierarchy;
     let mut t = TableWriter::new(&["parameter", "value"]);
     let mut row = |k: &str, v: String| t.row(vec![k.to_string(), v]);
-    row("Processor depth", format!("{} front-end stages (+fetch, OoO back end)", c.frontend_depth));
+    row(
+        "Processor depth",
+        format!(
+            "{} front-end stages (+fetch, OoO back end)",
+            c.frontend_depth
+        ),
+    );
     row("Processor width", format!("{} way", c.width));
     row("Fetch threads/cycle", format!("{}", c.fetch_threads));
-    row("Reorder buffer size", format!("{} shared entries", c.rob_size));
-    row("INT/FP registers", format!("{} / {}", c.int_regs, c.fp_regs));
+    row(
+        "Reorder buffer size",
+        format!("{} shared entries", c.rob_size),
+    );
+    row(
+        "INT/FP registers",
+        format!("{} / {}", c.int_regs, c.fp_regs),
+    );
     row(
         "INT/FP/LS issue queues",
         format!("{} / {} / {}", c.iq_size[0], c.iq_size[1], c.iq_size[2]),
@@ -23,7 +35,10 @@ fn main() {
     );
     row(
         "Branch predictor",
-        format!("Perceptron ({} entries, {} bits history)", c.bpred_table, c.bpred_history),
+        format!(
+            "Perceptron ({} entries, {} bits history)",
+            c.bpred_table, c.bpred_history
+        ),
     );
     row(
         "Icache",
@@ -53,7 +68,10 @@ fn main() {
         ),
     );
     row("Caches line size", format!("{} bytes", h.dcache.line_bytes));
-    row("Main memory latency", format!("{} cycles", h.memory_latency));
+    row(
+        "Main memory latency",
+        format!("{} cycles", h.memory_latency),
+    );
     println!("Table 1. SMT processor baseline configuration\n");
     print!("{}", t.render());
 }

@@ -3,7 +3,8 @@
 /// Common harness options.
 ///
 /// Flags: `--insts N` (per-thread measurement quota), `--warmup N`,
-/// `--mixes N` (mixes per group), `--seed N`, `--quick` (tiny preset).
+/// `--mixes N` (mixes per group), `--seed N`, `--threads N` (simulation
+/// worker threads, 0 = all cores, 1 = serial), `--quick` (tiny preset).
 #[derive(Clone, Copy, Debug)]
 pub struct HarnessArgs {
     /// Per-thread committed-instruction quota for measurement.
@@ -14,6 +15,9 @@ pub struct HarnessArgs {
     pub mixes: usize,
     /// Base RNG seed for workload generation.
     pub seed: u64,
+    /// Worker threads for the sweep (0 = all cores, 1 = serial). The
+    /// numeric output is identical at any thread count.
+    pub threads: usize,
 }
 
 impl Default for HarnessArgs {
@@ -23,6 +27,7 @@ impl Default for HarnessArgs {
             warmup: 20_000,
             mixes: 0,
             seed: 42,
+            threads: 0,
         }
     }
 }
@@ -47,6 +52,7 @@ impl HarnessArgs {
                 "--warmup" => out.warmup = num(&mut args),
                 "--mixes" => out.mixes = num(&mut args) as usize,
                 "--seed" => out.seed = num(&mut args),
+                "--threads" => out.threads = num(&mut args) as usize,
                 "--quick" => {
                     out.insts = 8_000;
                     out.warmup = 3_000;
@@ -54,7 +60,8 @@ impl HarnessArgs {
                 }
                 "--help" | "-h" => {
                     eprintln!(
-                        "options: --insts N  --warmup N  --mixes N (0=all)  --seed N  --quick"
+                        "options: --insts N  --warmup N  --mixes N (0=all)  --seed N  \
+                         --threads N (0=all cores, 1=serial)  --quick"
                     );
                     std::process::exit(0);
                 }
@@ -79,19 +86,32 @@ mod tests {
         let a = HarnessArgs::default();
         assert!(a.insts > 0 && a.warmup > 0);
         assert_eq!(a.mixes, 0);
+        assert_eq!(a.threads, 0, "default uses all cores");
     }
 
     #[test]
     fn parse_flags() {
         let a = HarnessArgs::parse(
-            ["--insts", "100", "--warmup", "5", "--mixes", "3", "--seed", "7"]
-                .iter()
-                .map(|s| s.to_string()),
+            [
+                "--insts",
+                "100",
+                "--warmup",
+                "5",
+                "--mixes",
+                "3",
+                "--seed",
+                "7",
+                "--threads",
+                "2",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
         );
         assert_eq!(a.insts, 100);
         assert_eq!(a.warmup, 5);
         assert_eq!(a.mixes, 3);
         assert_eq!(a.seed, 7);
+        assert_eq!(a.threads, 2);
     }
 
     #[test]

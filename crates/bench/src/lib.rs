@@ -1,11 +1,15 @@
 //! # rat-bench — figure/table harness support
 //!
 //! The binaries in this crate regenerate every table and figure of the
-//! paper's evaluation; shared plumbing (CLI parsing, table formatting)
-//! lives here. See `DESIGN.md` for the experiment index.
+//! paper's evaluation; shared plumbing (CLI parsing, parallel sweep
+//! orchestration, table formatting) lives here. Sweeps run the
+//! experiment matrix over all cores by default (`--threads N` to
+//! restrict); output is deterministic at any thread count.
 
 pub mod cli;
+pub mod sweep;
 pub mod table;
 
 pub use cli::HarnessArgs;
+pub use sweep::{policy_matrix, select_mixes};
 pub use table::TableWriter;

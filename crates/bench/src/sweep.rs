@@ -1,0 +1,128 @@
+//! Parallel sweep plumbing shared by the figure binaries.
+//!
+//! A figure is a matrix of independent simulations (workload groups ×
+//! policies × mixes). [`policy_matrix`] flattens that matrix into one
+//! task list, fans it out over all cores with
+//! [`rat_core::parallel::par_map`], and reassembles per-group summaries
+//! in deterministic order — the printed tables are bit-identical at any
+//! thread count (`--threads 1` reproduces the serial run exactly).
+
+use std::time::Instant;
+
+use rat_core::{parallel, GroupSummary, MixResult, Runner};
+use rat_smt::PolicyKind;
+use rat_workload::{mixes_for_group, Mix, WorkloadGroup, ALL_GROUPS};
+
+/// The Table 2 mixes of `group`, truncated to `cap` when `cap > 0`.
+pub fn select_mixes(group: WorkloadGroup, cap: usize) -> Vec<Mix> {
+    let mut mixes = mixes_for_group(group);
+    if cap > 0 {
+        mixes.truncate(cap);
+    }
+    mixes
+}
+
+/// Runs every Table 2 group under every policy in parallel and returns
+/// `(group, per-policy summary)` rows in `ALL_GROUPS` × `policies`
+/// order. ST references for Eq. 2 fairness are prewarmed (in parallel)
+/// first so sweep workers hit the cache.
+pub fn policy_matrix(
+    runner: &Runner,
+    policies: &[PolicyKind],
+    mixes_cap: usize,
+    threads: usize,
+) -> Vec<(WorkloadGroup, Vec<GroupSummary>)> {
+    let started = Instant::now();
+    let groups: Vec<(WorkloadGroup, Vec<Mix>)> = ALL_GROUPS
+        .iter()
+        .map(|&g| (g, select_mixes(g, mixes_cap)))
+        .collect();
+
+    runner.prewarm_st_references(
+        groups
+            .iter()
+            .flat_map(|(_, ms)| ms.iter().flat_map(|m| m.benchmarks.iter().copied())),
+        threads,
+    );
+
+    // One task per (group, policy, mix) cell for even load balance.
+    let tasks: Vec<(usize, usize, &Mix)> = groups
+        .iter()
+        .enumerate()
+        .flat_map(|(gi, (_, mixes))| {
+            (0..policies.len()).flat_map(move |pi| mixes.iter().map(move |m| (gi, pi, m)))
+        })
+        .collect();
+    let results = parallel::par_map(threads, &tasks, |_, &(_, pi, mix)| {
+        runner.run_mix(mix, policies[pi])
+    });
+
+    // Reassemble: tasks and results share indices, so grouping is
+    // deterministic regardless of which worker ran what.
+    let mut cells: Vec<Vec<Vec<MixResult>>> = vec![vec![Vec::new(); policies.len()]; groups.len()];
+    for (&(gi, pi, _), result) in tasks.iter().zip(results) {
+        cells[gi][pi].push(result);
+    }
+    let matrix = groups
+        .iter()
+        .zip(cells)
+        .map(|(&(g, _), per_policy)| {
+            let summaries = per_policy
+                .iter()
+                .map(|results| runner.summarize(results))
+                .collect();
+            (g, summaries)
+        })
+        .collect();
+    eprintln!(
+        "sweep: {} simulations on {} threads in {:.1}s",
+        tasks.len(),
+        parallel::resolve_threads(threads),
+        started.elapsed().as_secs_f64()
+    );
+    matrix
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rat_core::RunConfig;
+    use rat_smt::SmtConfig;
+
+    fn tiny_runner() -> Runner {
+        Runner::new(
+            SmtConfig::hpca2008_baseline(),
+            RunConfig {
+                insts_per_thread: 1_500,
+                warmup_insts: 500,
+                max_cycles: 50_000_000,
+                seed: 11,
+            },
+        )
+    }
+
+    #[test]
+    fn select_mixes_caps() {
+        assert_eq!(select_mixes(WorkloadGroup::Ilp2, 0).len(), 10);
+        assert_eq!(select_mixes(WorkloadGroup::Ilp2, 3).len(), 3);
+    }
+
+    #[test]
+    fn matrix_shape_and_determinism() {
+        let runner = tiny_runner();
+        let policies = [PolicyKind::Icount];
+        let serial = policy_matrix(&runner, &policies, 1, 1);
+        let parallel = policy_matrix(&runner, &policies, 1, 2);
+        assert_eq!(serial.len(), ALL_GROUPS.len());
+        for ((g1, s1), (g2, s2)) in serial.iter().zip(&parallel) {
+            assert_eq!(g1, g2);
+            assert_eq!(s1.len(), 1);
+            assert_eq!(
+                s1[0].throughput.to_bits(),
+                s2[0].throughput.to_bits(),
+                "{g1}: serial and parallel sweeps must agree exactly"
+            );
+            assert_eq!(s1[0].fairness.to_bits(), s2[0].fairness.to_bits());
+        }
+    }
+}

@@ -18,7 +18,10 @@ impl GsharePredictor {
     ///
     /// Panics if `table_size` is not a power of two.
     pub fn new(table_size: usize, history_bits: usize) -> Self {
-        assert!(table_size.is_power_of_two(), "table size must be a power of two");
+        assert!(
+            table_size.is_power_of_two(),
+            "table size must be a power of two"
+        );
         GsharePredictor {
             // Initialize to weakly taken: loop branches predict well early.
             counters: vec![2; table_size],
@@ -64,7 +67,10 @@ impl BimodalPredictor {
     ///
     /// Panics if `table_size` is not a power of two.
     pub fn new(table_size: usize) -> Self {
-        assert!(table_size.is_power_of_two(), "table size must be a power of two");
+        assert!(
+            table_size.is_power_of_two(),
+            "table size must be a power of two"
+        );
         BimodalPredictor {
             counters: vec![2; table_size],
         }

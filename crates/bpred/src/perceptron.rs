@@ -27,7 +27,10 @@ impl PerceptronPredictor {
     ///
     /// Panics if `table_size` is not a power of two or `history_len > 63`.
     pub fn new(table_size: usize, history_len: usize) -> Self {
-        assert!(table_size.is_power_of_two(), "table size must be a power of two");
+        assert!(
+            table_size.is_power_of_two(),
+            "table size must be a power of two"
+        );
         assert!(history_len <= 63, "history length must be at most 63");
         // Optimal threshold from the original paper: ⌊1.93 h + 14⌋.
         let theta = (1.93 * history_len as f64 + 14.0).floor() as i32;

@@ -16,6 +16,11 @@
 //! each thread's IPC is taken over its own window so fast threads do not
 //! truncate slow ones.
 //!
+//! Sweeps parallelize over the experiment matrix: [`Runner`] methods take
+//! `&self` (the ST-reference cache is internally synchronized), and
+//! [`parallel::par_map`] distributes independent `(mix, policy, config)`
+//! cells over all cores with results in deterministic input order.
+//!
 //! # Example
 //!
 //! ```no_run
@@ -23,7 +28,7 @@
 //! use rat_smt::{PolicyKind, SmtConfig};
 //! use rat_workload::{mixes_for_group, WorkloadGroup};
 //!
-//! let mut runner = Runner::new(SmtConfig::hpca2008_baseline(), RunConfig::default());
+//! let runner = Runner::new(SmtConfig::hpca2008_baseline(), RunConfig::default());
 //! let mix = &mixes_for_group(WorkloadGroup::Mem2)[1]; // art+mcf
 //! let result = runner.run_mix(mix, PolicyKind::Rat);
 //! println!("throughput {:.3}", result.throughput());
@@ -31,9 +36,11 @@
 //! ```
 
 mod metrics;
+pub mod parallel;
 mod runner;
 
 pub use metrics::{ed2, fairness_from_ipcs, throughput_from_ipcs};
+pub use parallel::{par_map, resolve_threads};
 pub use runner::{GroupSummary, MixResult, RunConfig, Runner};
 
 // Re-export the layers so downstream users need a single dependency.

@@ -80,7 +80,10 @@ mod tests {
         let slow = ed2(1000, &[1.0]);
         assert!((slow / fast - 4.0).abs() < 1e-9, "CPI² scaling");
         let more_work = ed2(2000, &[1.0]);
-        assert!((more_work / slow - 2.0).abs() < 1e-9, "linear energy scaling");
+        assert!(
+            (more_work / slow - 2.0).abs() < 1e-9,
+            "linear energy scaling"
+        );
     }
 
     #[test]

@@ -1,11 +1,12 @@
 //! Experiment execution: mixes, warmup, measurement, ST reference runs.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Mutex;
 
 use rat_smt::{PolicyKind, SmtConfig, SmtSimulator, ThreadStats};
 use rat_workload::{Benchmark, Mix, ThreadImage};
 
-use crate::metrics;
+use crate::{metrics, parallel};
 
 /// Measurement methodology parameters (instruction quotas, cycle bounds).
 #[derive(Clone, Copy, Debug)]
@@ -81,10 +82,16 @@ pub struct GroupSummary {
 ///
 /// The ST references (denominators of Eq. 2) are measured on the same
 /// hardware configuration with the ICOUNT policy, as in the paper.
+///
+/// Every measurement method takes `&self`, so one `Runner` can drive a
+/// whole sweep from [`crate::parallel::par_map`] workers concurrently;
+/// the ST-reference cache is internally synchronized. Results are
+/// deterministic functions of `(mix, policy, config, seed)`, so the
+/// sweep output is identical at any thread count.
 pub struct Runner {
     smt: SmtConfig,
     run: RunConfig,
-    st_cache: HashMap<(Benchmark, u64), f64>,
+    st_cache: Mutex<HashMap<(Benchmark, u64), f64>>,
 }
 
 impl Runner {
@@ -93,7 +100,7 @@ impl Runner {
         Runner {
             smt,
             run,
-            st_cache: HashMap::new(),
+            st_cache: Mutex::new(HashMap::new()),
         }
     }
 
@@ -105,7 +112,10 @@ impl Runner {
     /// Mutable access (e.g. for the Figure 6 register-file sweep). Clears
     /// the ST cache since references depend on the hardware.
     pub fn smt_config_mut(&mut self) -> &mut SmtConfig {
-        self.st_cache.clear();
+        self.st_cache
+            .get_mut()
+            .expect("cache lock poisoned")
+            .clear();
         &mut self.smt
     }
 
@@ -127,7 +137,7 @@ impl Runner {
 
     /// Simulates `mix` under `policy`: warmup, stats reset, measurement
     /// until every thread commits its quota.
-    pub fn run_mix(&mut self, mix: &Mix, policy: PolicyKind) -> MixResult {
+    pub fn run_mix(&self, mix: &Mix, policy: PolicyKind) -> MixResult {
         let mut sim = self.build_sim(&mix.benchmarks, policy, self.run.seed);
         sim.run_until_quota(self.run.warmup_insts, self.run.max_cycles);
         sim.reset_stats();
@@ -147,18 +157,41 @@ impl Runner {
 
     /// The single-thread reference IPC of `bench` on this hardware
     /// (ICOUNT policy), cached across calls.
-    pub fn single_thread_ipc(&mut self, bench: Benchmark) -> f64 {
+    pub fn single_thread_ipc(&self, bench: Benchmark) -> f64 {
         let key = (bench, self.run.seed);
-        if let Some(&ipc) = self.st_cache.get(&key) {
+        if let Some(&ipc) = self.st_cache.lock().expect("cache lock poisoned").get(&key) {
             return ipc;
         }
+        // Simulate outside the lock: concurrent callers may duplicate a
+        // reference run, but the value is deterministic so the cache
+        // stays consistent whichever insert lands last.
         let mut sim = self.build_sim(&[bench], PolicyKind::Icount, self.run.seed);
         sim.run_until_quota(self.run.warmup_insts, self.run.max_cycles);
         sim.reset_stats();
         sim.run_until_quota(self.run.insts_per_thread, self.run.max_cycles);
         let ipc = sim.stats().thread_ipc(0);
-        self.st_cache.insert(key, ipc);
+        self.st_cache
+            .lock()
+            .expect("cache lock poisoned")
+            .insert(key, ipc);
         ipc
+    }
+
+    /// Computes (and caches) the ST reference IPC of every distinct
+    /// benchmark in `benches`, using up to `threads` worker threads.
+    /// Call before a parallel sweep so concurrent [`Runner::fairness`]
+    /// lookups hit the cache instead of duplicating reference runs.
+    pub fn prewarm_st_references(
+        &self,
+        benches: impl IntoIterator<Item = Benchmark>,
+        threads: usize,
+    ) {
+        let unique: Vec<Benchmark> = benches
+            .into_iter()
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        parallel::par_map(threads, &unique, |_, &b| self.single_thread_ipc(b));
     }
 
     /// Equation 2 fairness for a mix result, using cached ST references.
@@ -167,7 +200,7 @@ impl Runner {
     /// the ST reference uses seed `seed`; synthetic programs are
     /// statistically stationary so the seed offset does not bias the
     /// reference.
-    pub fn fairness(&mut self, result: &MixResult) -> f64 {
+    pub fn fairness(&self, result: &MixResult) -> f64 {
         let st: Vec<f64> = result
             .mix
             .benchmarks
@@ -177,14 +210,17 @@ impl Runner {
         metrics::fairness_from_ipcs(&result.ipcs, &st)
     }
 
-    /// Runs every mix of a slice under `policy` and averages the metrics.
-    pub fn run_group(&mut self, mixes: &[Mix], policy: PolicyKind) -> GroupSummary {
-        assert!(!mixes.is_empty(), "empty mix group");
+    /// Averages the metrics of a set of mix results (one workload group).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `results` is empty.
+    pub fn summarize(&self, results: &[MixResult]) -> GroupSummary {
+        assert!(!results.is_empty(), "empty mix group");
         let mut sum = GroupSummary::default();
-        for mix in mixes {
-            let r = self.run_mix(mix, policy);
+        for r in results {
             sum.throughput += r.throughput();
-            sum.fairness += self.fairness(&r);
+            sum.fairness += self.fairness(r);
             sum.ed2 += r.ed2();
             sum.mixes += 1;
         }
@@ -193,6 +229,13 @@ impl Runner {
         sum.fairness /= n;
         sum.ed2 /= n;
         sum
+    }
+
+    /// Runs every mix of a slice under `policy` and averages the metrics.
+    pub fn run_group(&self, mixes: &[Mix], policy: PolicyKind) -> GroupSummary {
+        assert!(!mixes.is_empty(), "empty mix group");
+        let results: Vec<MixResult> = mixes.iter().map(|mix| self.run_mix(mix, policy)).collect();
+        self.summarize(&results)
     }
 }
 
@@ -212,18 +255,22 @@ mod tests {
 
     #[test]
     fn run_mix_produces_sane_result() {
-        let mut runner = Runner::new(SmtConfig::hpca2008_baseline(), quick());
+        let runner = Runner::new(SmtConfig::hpca2008_baseline(), quick());
         let mix = &mixes_for_group(WorkloadGroup::Ilp2)[0];
         let r = runner.run_mix(mix, PolicyKind::Icount);
         assert!(r.complete);
         assert_eq!(r.ipcs.len(), 2);
-        assert!(r.throughput() > 0.3, "ILP2 throughput {:.3}", r.throughput());
+        assert!(
+            r.throughput() > 0.3,
+            "ILP2 throughput {:.3}",
+            r.throughput()
+        );
         assert!(r.executed_insts >= 8_000);
     }
 
     #[test]
     fn st_cache_is_stable() {
-        let mut runner = Runner::new(SmtConfig::hpca2008_baseline(), quick());
+        let runner = Runner::new(SmtConfig::hpca2008_baseline(), quick());
         let a = runner.single_thread_ipc(Benchmark::Gzip);
         let b = runner.single_thread_ipc(Benchmark::Gzip);
         assert_eq!(a, b);
@@ -232,7 +279,7 @@ mod tests {
 
     #[test]
     fn fairness_bounded_for_ilp_mix() {
-        let mut runner = Runner::new(SmtConfig::hpca2008_baseline(), quick());
+        let runner = Runner::new(SmtConfig::hpca2008_baseline(), quick());
         let mix = &mixes_for_group(WorkloadGroup::Ilp2)[0];
         let r = runner.run_mix(mix, PolicyKind::Icount);
         let f = runner.fairness(&r);
@@ -244,6 +291,26 @@ mod tests {
         let mut runner = Runner::new(SmtConfig::hpca2008_baseline(), quick());
         let _ = runner.single_thread_ipc(Benchmark::Gzip);
         runner.smt_config_mut().int_regs = 256;
-        assert!(runner.st_cache.is_empty());
+        assert!(runner.st_cache.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn prewarm_fills_cache() {
+        let runner = Runner::new(SmtConfig::hpca2008_baseline(), quick());
+        runner.prewarm_st_references([Benchmark::Gzip, Benchmark::Gzip, Benchmark::Eon], 2);
+        assert_eq!(runner.st_cache.lock().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn parallel_and_serial_group_runs_agree() {
+        let runner = Runner::new(SmtConfig::hpca2008_baseline(), quick());
+        let mixes = &mixes_for_group(WorkloadGroup::Ilp2)[..2];
+        let serial = runner.run_group(mixes, PolicyKind::Icount);
+        let results =
+            crate::parallel::par_map(2, mixes, |_, mix| runner.run_mix(mix, PolicyKind::Icount));
+        let parallel = runner.summarize(&results);
+        assert_eq!(serial.throughput.to_bits(), parallel.throughput.to_bits());
+        assert_eq!(serial.fairness.to_bits(), parallel.fairness.to_bits());
+        assert_eq!(serial.ed2.to_bits(), parallel.ed2.to_bits());
     }
 }

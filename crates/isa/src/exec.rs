@@ -146,7 +146,7 @@ impl Cpu {
             state: ArchState::new(program.entry()),
             memory,
             program,
-        retired: 0,
+            retired: 0,
         }
     }
 
@@ -256,7 +256,12 @@ impl Cpu {
         let mut next_pc = pc.next();
 
         match inst {
-            Instruction::IntOp { op, dst, src1, src2 } => {
+            Instruction::IntOp {
+                op,
+                dst,
+                src1,
+                src2,
+            } => {
                 let a = self.state.int_reg(src1);
                 let b = self.operand(src2);
                 let v = match op {
@@ -274,7 +279,12 @@ impl Cpu {
                 self.state.set_int_reg(dst, v);
                 result = Some(v);
             }
-            Instruction::FpOpInst { op, dst, src1, src2 } => {
+            Instruction::FpOpInst {
+                op,
+                dst,
+                src1,
+                src2,
+            } => {
                 let a = self.state.fp_reg(src1);
                 let b = self.state.fp_reg(src2);
                 let v = match op {
@@ -286,10 +296,7 @@ impl Cpu {
                 result = Some(v.to_bits());
             }
             Instruction::Load { dst, base, offset } => {
-                let addr = self
-                    .state
-                    .int_reg(base)
-                    .wrapping_add(offset as i64 as u64);
+                let addr = self.state.int_reg(base).wrapping_add(offset as i64 as u64);
                 let v = self.memory.read_u64(addr);
                 self.state.set_int_reg(dst, v);
                 eff_addr = Some(addr);
@@ -297,10 +304,7 @@ impl Cpu {
                 result = Some(v);
             }
             Instruction::LoadFp { dst, base, offset } => {
-                let addr = self
-                    .state
-                    .int_reg(base)
-                    .wrapping_add(offset as i64 as u64);
+                let addr = self.state.int_reg(base).wrapping_add(offset as i64 as u64);
                 let v = self.memory.read_u64(addr);
                 self.state.fp[dst.index()] = v;
                 eff_addr = Some(addr);
@@ -308,18 +312,12 @@ impl Cpu {
                 result = Some(v);
             }
             Instruction::Store { src, base, offset } => {
-                let addr = self
-                    .state
-                    .int_reg(base)
-                    .wrapping_add(offset as i64 as u64);
+                let addr = self.state.int_reg(base).wrapping_add(offset as i64 as u64);
                 self.memory.write_u64(addr, self.state.int_reg(src));
                 eff_addr = Some(addr);
             }
             Instruction::StoreFp { src, base, offset } => {
-                let addr = self
-                    .state
-                    .int_reg(base)
-                    .wrapping_add(offset as i64 as u64);
+                let addr = self.state.int_reg(base).wrapping_add(offset as i64 as u64);
                 self.memory.write_u64(addr, self.state.fp_reg_bits(src));
                 eff_addr = Some(addr);
             }
@@ -464,17 +462,35 @@ mod tests {
 
     #[test]
     fn fp_ops_compute() {
-        let mut prog = vec![
-            I::int_op(AluOp::Add, r(1), IntReg::ZERO, Operand::Imm(0x100)),
-        ];
+        let mut prog = vec![I::int_op(
+            AluOp::Add,
+            r(1),
+            IntReg::ZERO,
+            Operand::Imm(0x100),
+        )];
         prog.push(I::LoadFp {
             dst: FpReg::new(1),
             base: r(1),
             offset: 0,
         });
-        prog.push(I::fp_op(FpOp::Add, FpReg::new(2), FpReg::new(1), FpReg::new(1)));
-        prog.push(I::fp_op(FpOp::Mul, FpReg::new(3), FpReg::new(2), FpReg::new(1)));
-        prog.push(I::fp_op(FpOp::Div, FpReg::new(4), FpReg::new(3), FpReg::new(1)));
+        prog.push(I::fp_op(
+            FpOp::Add,
+            FpReg::new(2),
+            FpReg::new(1),
+            FpReg::new(1),
+        ));
+        prog.push(I::fp_op(
+            FpOp::Mul,
+            FpReg::new(3),
+            FpReg::new(2),
+            FpReg::new(1),
+        ));
+        prog.push(I::fp_op(
+            FpOp::Div,
+            FpReg::new(4),
+            FpReg::new(3),
+            FpReg::new(1),
+        ));
         prog.push(I::StoreFp {
             src: FpReg::new(4),
             base: r(1),

@@ -193,12 +193,22 @@ pub enum InstructionKind {
 impl Instruction {
     /// Convenience constructor for an integer operation.
     pub fn int_op(op: AluOp, dst: IntReg, src1: IntReg, src2: Operand) -> Self {
-        Instruction::IntOp { op, dst, src1, src2 }
+        Instruction::IntOp {
+            op,
+            dst,
+            src1,
+            src2,
+        }
     }
 
     /// Convenience constructor for an FP operation.
     pub fn fp_op(op: FpOp, dst: FpReg, src1: FpReg, src2: FpReg) -> Self {
-        Instruction::FpOpInst { op, dst, src1, src2 }
+        Instruction::FpOpInst {
+            op,
+            dst,
+            src1,
+            src2,
+        }
     }
 
     /// Convenience constructor for an integer load.
@@ -265,11 +275,21 @@ impl Instruction {
 impl fmt::Display for Instruction {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Instruction::IntOp { op, dst, src1, src2 } => match src2 {
+            Instruction::IntOp {
+                op,
+                dst,
+                src1,
+                src2,
+            } => match src2 {
                 Operand::Reg(r) => write!(f, "{op:?} {dst}, {src1}, {r}"),
                 Operand::Imm(i) => write!(f, "{op:?} {dst}, {src1}, #{i}"),
             },
-            Instruction::FpOpInst { op, dst, src1, src2 } => {
+            Instruction::FpOpInst {
+                op,
+                dst,
+                src1,
+                src2,
+            } => {
                 write!(f, "F{op:?} {dst}, {src1}, {src2}")
             }
             Instruction::Load { dst, base, offset } => write!(f, "LD {dst}, {offset}({base})"),

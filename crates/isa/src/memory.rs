@@ -210,7 +210,7 @@ mod tests {
     fn zero_initialized() {
         let m = SparseMemory::new();
         assert_eq!(m.read_u64(0), 0);
-        assert_eq!(m.read_u64(0xdead_beef_000), 0);
+        assert_eq!(m.read_u64(0x0dea_dbee_f000), 0);
         assert_eq!(m.resident_pages(), 0);
     }
 

@@ -72,7 +72,10 @@ impl Program {
     /// Panics if `code` is empty, `entry` is out of range, or any
     /// control-flow target is out of range.
     pub fn with_entry(code: Vec<Instruction>, entry: Pc, name: &str) -> Self {
-        assert!(!code.is_empty(), "program must contain at least one instruction");
+        assert!(
+            !code.is_empty(),
+            "program must contain at least one instruction"
+        );
         assert!(entry.index() < code.len(), "entry point out of range");
         for (i, inst) in code.iter().enumerate() {
             let target = match inst {

@@ -52,8 +52,14 @@ impl CacheConfig {
     }
 
     fn validate(&self) {
-        assert!(self.size_bytes.is_power_of_two(), "cache size must be a power of two");
-        assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            self.size_bytes.is_power_of_two(),
+            "cache size must be a power of two"
+        );
+        assert!(
+            self.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(self.ways >= 1, "cache must have at least one way");
         let lines = self.size_bytes / self.line_bytes;
         assert!(lines >= self.ways, "cache too small for its associativity");

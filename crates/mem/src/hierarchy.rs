@@ -166,7 +166,11 @@ impl Hierarchy {
 
     fn level_access(&mut self, addr: u64, kind: AccessKind, now: Cycle) -> AccessResult {
         let is_fetch = kind == AccessKind::InstFetch;
-        let l1 = if is_fetch { &mut self.icache } else { &mut self.dcache };
+        let l1 = if is_fetch {
+            &mut self.icache
+        } else {
+            &mut self.dcache
+        };
         let l1_latency = l1.config().latency;
 
         match l1.probe(addr, now) {
@@ -235,7 +239,11 @@ impl Hierarchy {
             }
         };
 
-        let l1 = if is_fetch { &mut self.icache } else { &mut self.dcache };
+        let l1 = if is_fetch {
+            &mut self.icache
+        } else {
+            &mut self.dcache
+        };
         l1.fill(addr, fill_ready, from_l2_miss, now);
         if kind == AccessKind::Prefetch {
             l1.stats_mut().prefetches += 1;
@@ -299,7 +307,10 @@ mod tests {
         let first = h.data_access(0x1000, AccessKind::Load, 0);
         let second = h.data_access(0x1008, AccessKind::Load, 5);
         assert!(second.merged);
-        assert!(second.l2_miss, "large remaining wait still counts as L2 miss");
+        assert!(
+            second.l2_miss,
+            "large remaining wait still counts as L2 miss"
+        );
         assert!(second.ready_at >= first.ready_at);
         assert_eq!(h.memory_accesses(), 1);
     }

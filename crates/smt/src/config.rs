@@ -135,17 +135,32 @@ impl SmtConfig {
     /// Panics on nonsensical values (zero widths, zero resources).
     pub fn validate(&self) {
         assert!(self.width >= 1, "width must be at least 1");
-        assert!(self.fetch_threads >= 1, "must fetch from at least one thread");
-        assert!(self.rob_size >= self.width, "ROB smaller than pipeline width");
-        assert!(self.int_regs >= 64, "need at least 2 threads' worth of int registers");
-        assert!(self.fp_regs >= 64, "need at least 2 threads' worth of fp registers");
+        assert!(
+            self.fetch_threads >= 1,
+            "must fetch from at least one thread"
+        );
+        assert!(
+            self.rob_size >= self.width,
+            "ROB smaller than pipeline width"
+        );
+        assert!(
+            self.int_regs >= 64,
+            "need at least 2 threads' worth of int registers"
+        );
+        assert!(
+            self.fp_regs >= 64,
+            "need at least 2 threads' worth of fp registers"
+        );
         for (i, &s) in self.iq_size.iter().enumerate() {
             assert!(s >= 4, "issue queue {i} too small");
         }
         for (i, &f) in self.fu_count.iter().enumerate() {
             assert!(f >= 1, "functional unit class {i} empty");
         }
-        assert!(self.fetch_buffer >= self.width, "fetch buffer smaller than width");
+        assert!(
+            self.fetch_buffer >= self.width,
+            "fetch buffer smaller than width"
+        );
     }
 }
 

@@ -11,7 +11,9 @@
 //! surviving in-flight results, roll back journaled memory writes, and
 //! reset the PC/sequence counter.
 
-use rat_isa::{Cpu, ExecRecord, FpReg, Instruction, IntReg, Pc, NUM_FP_ARCH_REGS, NUM_INT_ARCH_REGS};
+use rat_isa::{
+    Cpu, ExecRecord, FpReg, Instruction, IntReg, Pc, NUM_FP_ARCH_REGS, NUM_INT_ARCH_REGS,
+};
 
 /// A thread's functional front end: fetch-time emulator + retirement
 /// register file.
@@ -88,10 +90,8 @@ impl OracleThread {
     ) {
         let Some(result) = rec.result else { return };
         match rec.inst {
-            Instruction::IntOp { dst, .. } | Instruction::Load { dst, .. } => {
-                if !dst.is_zero() {
-                    int[dst.index()] = result;
-                }
+            Instruction::IntOp { dst, .. } | Instruction::Load { dst, .. } if !dst.is_zero() => {
+                int[dst.index()] = result;
             }
             Instruction::FpOpInst { dst, .. } | Instruction::LoadFp { dst, .. } => {
                 fp[dst.index()] = result;

@@ -1,0 +1,118 @@
+//! Commit stage: architectural retirement, runahead pseudo-retirement,
+//! and runahead entry detection.
+//!
+//! Shares the pipeline width across threads round-robin. A normal-mode
+//! thread whose ROB head is a long-latency (L2-miss) load enters
+//! runahead here (paper §3.1: entry happens when the blocking load
+//! reaches the window head, making the architectural map the
+//! checkpoint).
+
+use crate::rob::EntryState;
+use crate::types::{ExecMode, ThreadId};
+
+use super::{runahead, SmtSimulator};
+
+/// Runs the commit stage for one cycle.
+pub(super) fn run(sim: &mut SmtSimulator) {
+    let n = sim.threads.len();
+    let mut budget = sim.cfg.width;
+    let start = sim.res.commit_rr;
+    sim.res.commit_rr = (sim.res.commit_rr + 1) % n;
+    for k in 0..n {
+        let tid = (start + k) % n;
+        while budget > 0 {
+            enum Action {
+                Commit,
+                PseudoRetire,
+                EnterRunahead,
+                Stop,
+            }
+            let action = {
+                let thread = &sim.threads[tid];
+                match thread.rob.front() {
+                    None => Action::Stop,
+                    Some(front) => match thread.mode {
+                        ExecMode::Normal => {
+                            if front.state == EntryState::Done {
+                                Action::Commit
+                            } else if sim.cfg.policy.uses_runahead()
+                                && front.is_load()
+                                && front.state == EntryState::Executing
+                                && front.l2_miss
+                                && front.ready_at > sim.now + sim.cfg.runahead.entry_threshold
+                                && !front.inv
+                                && !thread.no_retrigger.contains(&front.seq)
+                            {
+                                Action::EnterRunahead
+                            } else {
+                                Action::Stop
+                            }
+                        }
+                        ExecMode::Runahead => {
+                            if front.state == EntryState::Done {
+                                Action::PseudoRetire
+                            } else {
+                                Action::Stop
+                            }
+                        }
+                    },
+                }
+            };
+            match action {
+                Action::Commit => {
+                    commit_one(sim, tid);
+                    budget -= 1;
+                }
+                Action::PseudoRetire => {
+                    pseudo_retire_one(sim, tid);
+                    budget -= 1;
+                }
+                Action::EnterRunahead => {
+                    runahead::enter_runahead(sim, tid);
+                    break;
+                }
+                Action::Stop => break,
+            }
+        }
+    }
+}
+
+fn commit_one(sim: &mut SmtSimulator, tid: ThreadId) {
+    let t = &mut sim.threads[tid];
+    let e = t.rob.pop_front().expect("commit front");
+    debug_assert_eq!(e.mode, ExecMode::Normal);
+    t.oracle.commit(&e.rec);
+    if let (Some((class, dst)), Some(arch)) = (e.dst, e.dst_arch) {
+        let old = t.rename.commit(arch, dst);
+        sim.res.rf(class).free(old, tid);
+    }
+    let t = &mut sim.threads[tid];
+    if e.is_store() {
+        if let Some(addr) = e.rec.eff_addr {
+            t.remove_store_addr(addr);
+        }
+    }
+    // Committed instructions are past the re-trigger filter window.
+    if !t.no_retrigger.is_empty() {
+        t.no_retrigger.remove(&e.seq);
+    }
+    sim.res.rob_occupancy -= 1;
+    sim.stats.threads[tid].committed += 1;
+    sim.last_progress = sim.now;
+}
+
+fn pseudo_retire_one(sim: &mut SmtSimulator, tid: ThreadId) {
+    let e = sim.threads[tid].rob.pop_front().expect("pseudo front");
+    if let Some(prev) = e.prev {
+        let class = e.dst.expect("prev implies dst").0;
+        sim.res.free_if_episode_owned(class, prev, tid);
+    }
+    if e.is_store() {
+        if let Some(addr) = e.rec.eff_addr {
+            sim.threads[tid].remove_store_addr(addr);
+        }
+    }
+    sim.res.rob_occupancy -= 1;
+    sim.stats.threads[tid].pseudo_retired += 1;
+    sim.last_progress = sim.now;
+}

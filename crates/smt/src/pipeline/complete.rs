@@ -1,0 +1,77 @@
+//! Completion / writeback stage.
+//!
+//! Drains the completion event heap up to the current cycle: each due
+//! event marks its ROB entry `Done`, wakes register waiters (propagating
+//! INV status), and resolves branches (predictor training and
+//! misprediction fetch-gate release).
+
+use rat_bpred::{GlobalHistory, Predictor};
+
+use crate::rob::EntryState;
+
+use super::{pred_key, SmtSimulator};
+use crate::types::ThreadId;
+
+/// Runs the writeback stage for one cycle.
+pub(super) fn run(sim: &mut SmtSimulator) {
+    while let Some((tid, seq, gseq)) = sim.res.pop_due_completion(sim.now) {
+        writeback(sim, tid, seq, gseq);
+    }
+}
+
+fn writeback(sim: &mut SmtSimulator, tid: ThreadId, seq: u64, gseq: u64) {
+    let (inv, dst, dst_arch, is_branch, was_dmiss);
+    {
+        let Some(e) = sim.threads[tid].rob.get_mut(seq) else {
+            return; // squashed
+        };
+        if e.gseq != gseq || e.state != EntryState::Executing {
+            return; // stale completion (squashed + seq reused, or converted)
+        }
+        e.state = EntryState::Done;
+        inv = e.inv;
+        dst = e.dst;
+        dst_arch = e.dst_arch;
+        is_branch = e.is_branch();
+        was_dmiss = e.dmiss;
+        e.dmiss = false;
+    }
+    if was_dmiss {
+        sim.threads[tid].dmiss_inflight -= 1;
+    }
+    if let Some((class, p)) = dst {
+        sim.res.wake_register(&mut sim.threads, class, p, inv);
+        if inv {
+            if let Some(arch) = dst_arch {
+                sim.threads[tid].set_arch_inv_if_current(arch, p);
+            }
+        }
+    }
+    if is_branch {
+        resolve_branch(sim, tid, seq);
+    }
+}
+
+fn resolve_branch(sim: &mut SmtSimulator, tid: ThreadId, seq: u64) {
+    let (pc, taken, predicted, mispredicted, hist_bits) = {
+        let e = sim.threads[tid].rob.get(seq).expect("resolving branch");
+        (
+            e.rec.pc,
+            e.rec.taken,
+            e.predicted,
+            e.mispredicted,
+            e.hist_bits,
+        )
+    };
+    if let Some(pred_dir) = predicted {
+        let hist = GlobalHistory::from_bits(hist_bits);
+        sim.res
+            .pred
+            .train(pred_key(tid, pc), &hist, taken, pred_dir);
+        sim.stats.threads[tid].bpred.record(pred_dir == taken);
+    }
+    if mispredicted && sim.threads[tid].branch_gate == Some(seq) {
+        // Fetch resumes next cycle; the front-end depth models refill.
+        sim.threads[tid].branch_gate = None;
+    }
+}

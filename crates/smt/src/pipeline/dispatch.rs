@@ -1,0 +1,301 @@
+//! Dispatch/rename stage: in-order per-thread rename and resource
+//! allocation, runahead folding of INV instructions, and the DCRA/Hill
+//! dispatch gates (via `SharedResources::allows_dispatch`).
+
+use rat_isa::{ArchReg, Instruction, InstructionKind};
+
+use crate::rob::{EntryState, RobEntry};
+use crate::types::{ExecMode, IqKind, PhysReg, RegClass, ThreadId};
+
+use super::{Fetched, SmtSimulator};
+
+/// Which issue queue an instruction dispatches into.
+fn iq_kind(kind: InstructionKind) -> Option<IqKind> {
+    match kind {
+        InstructionKind::IntAlu
+        | InstructionKind::IntMul
+        | InstructionKind::IntDiv
+        | InstructionKind::Branch => Some(IqKind::Int),
+        InstructionKind::FpAdd | InstructionKind::FpMul | InstructionKind::FpDiv => {
+            Some(IqKind::Fp)
+        }
+        InstructionKind::Load | InstructionKind::Store => Some(IqKind::Ls),
+        InstructionKind::Jump | InstructionKind::Nop => None,
+    }
+}
+
+/// Architectural source registers of an instruction (r0 excluded —
+/// it is constant and never renamed).
+fn src_regs(inst: &Instruction) -> [Option<ArchReg>; 2] {
+    use rat_isa::Operand;
+    let int = |r: rat_isa::IntReg| {
+        if r.is_zero() {
+            None
+        } else {
+            Some(ArchReg::Int(r))
+        }
+    };
+    match *inst {
+        Instruction::IntOp { src1, src2, .. } => {
+            let s2 = match src2 {
+                Operand::Reg(r) => int(r),
+                Operand::Imm(_) => None,
+            };
+            [int(src1), s2]
+        }
+        Instruction::FpOpInst { src1, src2, .. } => {
+            [Some(ArchReg::Fp(src1)), Some(ArchReg::Fp(src2))]
+        }
+        Instruction::Load { base, .. } | Instruction::LoadFp { base, .. } => [int(base), None],
+        Instruction::Store { src, base, .. } => [int(base), int(src)],
+        Instruction::StoreFp { src, base, .. } => [int(base), Some(ArchReg::Fp(src))],
+        Instruction::Branch { src1, src2, .. } => [int(src1), int(src2)],
+        Instruction::Jump { .. } | Instruction::Nop | Instruction::Fence => [None, None],
+    }
+}
+
+/// Architectural destination register (r0 writes discarded).
+fn dst_reg(inst: &Instruction) -> Option<ArchReg> {
+    match *inst {
+        Instruction::IntOp { dst, .. } | Instruction::Load { dst, .. } => {
+            if dst.is_zero() {
+                None
+            } else {
+                Some(ArchReg::Int(dst))
+            }
+        }
+        Instruction::FpOpInst { dst, .. } | Instruction::LoadFp { dst, .. } => {
+            Some(ArchReg::Fp(dst))
+        }
+        _ => None,
+    }
+}
+
+/// Runs the dispatch stage for one cycle.
+pub(super) fn run(sim: &mut SmtSimulator) {
+    let n = sim.threads.len();
+    let mut budget = sim.cfg.width;
+    let start = sim.res.dispatch_rr;
+    sim.res.dispatch_rr = (sim.res.dispatch_rr + 1) % n;
+    // Normal threads dispatch before speculative (runahead) threads:
+    // runahead work fills leftover bandwidth only (§3.2: a runahead
+    // thread must not limit the resources of other threads).
+    let mut order: Vec<ThreadId> = (0..n).map(|k| (start + k) % n).collect();
+    order.sort_by_key(|&t| sim.threads[t].mode == ExecMode::Runahead);
+    for tid in order {
+        while budget > 0 {
+            let ready = matches!(
+                sim.threads[tid].frontend.front(),
+                Some(f) if f.ready_at <= sim.now
+            );
+            if !ready || !try_dispatch_one(sim, tid) {
+                break;
+            }
+            budget -= 1;
+        }
+        if budget == 0 {
+            break;
+        }
+    }
+}
+
+/// Attempts to rename+dispatch the next fetched instruction of `tid`.
+/// Returns `false` on a resource or policy stall (in-order dispatch:
+/// the thread stops for this cycle).
+fn try_dispatch_one(sim: &mut SmtSimulator, tid: ThreadId) -> bool {
+    let f = *sim.threads[tid].frontend.front().expect("checked");
+    let kind = f.rec.inst.kind();
+    let iq_kind = iq_kind(kind);
+    let dst_arch = dst_reg(&f.rec.inst);
+    let srcs_arch = src_regs(&f.rec.inst);
+    let runahead = sim.threads[tid].mode == ExecMode::Runahead;
+
+    // --- runahead folding (paper §3.2/§3.3) ---
+    if runahead {
+        // INV sources at rename: for loads/stores only the address
+        // matters (INV store *data* still prefetches); for everything
+        // else any INV source folds the instruction.
+        let fold_srcs: &[Option<ArchReg>] = match kind {
+            InstructionKind::Load | InstructionKind::Store => &srcs_arch[..1],
+            _ => &srcs_arch[..],
+        };
+        let src_inv = fold_srcs
+            .iter()
+            .flatten()
+            .any(|r| sim.threads[tid].arch_inv[r.flat_index()]);
+        let drop_fp = sim.cfg.runahead.drop_fp && f.rec.inst.is_fp_compute();
+        // Synchronization instructions are ignored in runahead (§3.3).
+        let is_fence = matches!(f.rec.inst, Instruction::Fence);
+        if src_inv || drop_fp || is_fence {
+            if sim.res.rob_occupancy >= sim.cfg.rob_size {
+                return false;
+            }
+            sim.threads[tid].frontend.pop_front();
+            if let Some(arch) = dst_arch {
+                sim.threads[tid].arch_inv[arch.flat_index()] = true;
+            }
+            if kind == InstructionKind::Branch {
+                // An INV branch follows the predicted path; if the
+                // prediction disagrees with the correct path, the
+                // runahead thread diverges (§3.1 "most likely path").
+                if f.predicted != Some(f.rec.taken) && !sim.threads[tid].diverged {
+                    sim.threads[tid].diverged = true;
+                    sim.stats.threads[tid].runahead_divergences += 1;
+                }
+                if sim.threads[tid].branch_gate == Some(f.rec.seq) {
+                    sim.threads[tid].branch_gate = None;
+                }
+            }
+            push_folded_entry(sim, tid, &f);
+            return true;
+        }
+    }
+
+    // --- resource checks ---
+    if sim.res.rob_occupancy >= sim.cfg.rob_size {
+        return false;
+    }
+    if let Some(k) = iq_kind {
+        if !sim.res.iqs.has_space(k) {
+            return false;
+        }
+    }
+    if let Some(arch) = dst_arch {
+        let class = reg_class(arch);
+        if sim.res.rf_ref(class).free_count() == 0 {
+            return false;
+        }
+    }
+    if !sim
+        .res
+        .allows_dispatch(&sim.cfg, &sim.threads, tid, iq_kind, dst_arch)
+    {
+        return false;
+    }
+
+    // --- rename & allocate ---
+    let f = sim.threads[tid].frontend.pop_front().expect("checked");
+    sim.res.gseq += 1;
+    let gseq = sim.res.gseq;
+    let seq = f.rec.seq;
+
+    let mut srcs: [Option<(RegClass, PhysReg)>; 2] = [None, None];
+    let mut waiting = 0u8;
+    for (i, src) in srcs_arch.iter().enumerate() {
+        if let Some(arch) = src {
+            let class = reg_class(*arch);
+            let p = sim.threads[tid].rename.lookup(*arch);
+            srcs[i] = Some((class, p));
+            if !sim.res.rf_ref(class).is_ready(p) {
+                waiting += 1;
+                sim.res.iqs.add_waiter(class, p, tid, seq, gseq);
+            }
+        }
+    }
+
+    let mut dst = None;
+    let mut prev = None;
+    if let Some(arch) = dst_arch {
+        let class = reg_class(arch);
+        let p = sim.res.rf(class).alloc(tid).expect("checked free_count");
+        prev = Some(sim.threads[tid].rename.rename(arch, p));
+        dst = Some((class, p));
+        if runahead {
+            sim.res.rf(class).mark_episode(p);
+            sim.threads[tid].episode_regs.push((class, p));
+        }
+        // A valid instruction overwrites any INV status of its dest.
+        sim.threads[tid].arch_inv[arch.flat_index()] = false;
+        if class == RegClass::Fp {
+            sim.threads[tid].fp_user = true;
+        }
+    }
+    if f.rec.inst.is_fp_compute() {
+        sim.threads[tid].fp_user = true;
+    }
+
+    let state = if iq_kind.is_none() {
+        EntryState::Done
+    } else {
+        EntryState::WaitIssue
+    };
+    if let Some(k) = iq_kind {
+        sim.res.iqs.insert(k, tid);
+    }
+    if matches!(kind, InstructionKind::Store) {
+        if let Some(addr) = f.rec.eff_addr {
+            sim.threads[tid].add_store_addr(addr);
+        }
+    }
+
+    let mode = sim.threads[tid].mode;
+    sim.threads[tid].rob.push(RobEntry {
+        tid,
+        seq,
+        gseq,
+        rec: f.rec,
+        kind,
+        mode,
+        state,
+        inv: false,
+        dst,
+        dst_arch,
+        prev,
+        srcs,
+        iq: iq_kind,
+        waiting,
+        ready_at: 0,
+        dmiss: false,
+        l2_miss: false,
+        predicted: f.predicted,
+        mispredicted: f.mispredicted,
+        hist_bits: f.hist_bits,
+    });
+    sim.res.rob_occupancy += 1;
+    sim.stats.threads[tid].dispatched += 1;
+    if waiting == 0 {
+        if let Some(k) = iq_kind {
+            sim.res.iqs.push_ready(k, gseq, tid, seq);
+        }
+    }
+    true
+}
+
+#[inline]
+fn reg_class(arch: ArchReg) -> RegClass {
+    if arch.is_int() {
+        RegClass::Int
+    } else {
+        RegClass::Fp
+    }
+}
+
+fn push_folded_entry(sim: &mut SmtSimulator, tid: ThreadId, f: &Fetched) {
+    sim.res.gseq += 1;
+    sim.threads[tid].rob.push(RobEntry {
+        tid,
+        seq: f.rec.seq,
+        gseq: sim.res.gseq,
+        rec: f.rec,
+        kind: f.rec.inst.kind(),
+        mode: ExecMode::Runahead,
+        state: EntryState::Done,
+        inv: true,
+        dst: None,
+        dst_arch: None,
+        prev: None,
+        srcs: [None, None],
+        iq: None,
+        waiting: 0,
+        ready_at: sim.now,
+        dmiss: false,
+        l2_miss: false,
+        predicted: f.predicted,
+        mispredicted: f.mispredicted,
+        hist_bits: f.hist_bits,
+    });
+    sim.res.rob_occupancy += 1;
+    let ts = &mut sim.stats.threads[tid];
+    ts.dispatched += 1;
+    ts.folded += 1;
+}

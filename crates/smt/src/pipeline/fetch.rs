@@ -1,0 +1,142 @@
+//! Fetch stage: policy-ordered thread selection (round-robin or
+//! ICOUNT, with runahead threads always lowest priority), I-cache
+//! access, and branch prediction at fetch.
+
+use rat_bpred::Predictor;
+use rat_isa::InstructionKind;
+
+use crate::config::{RunaheadVariant, SmtConfig};
+use crate::policy::PolicyKind;
+use crate::stats::ThreadStats;
+use crate::types::{Cycle, ExecMode, ThreadId};
+
+use super::resources::SharedResources;
+use super::{pred_key, tag_addr, Fetched, SmtSimulator, Thread};
+
+/// Runs the fetch stage for one cycle.
+pub(super) fn run(sim: &mut SmtSimulator) {
+    let n = sim.threads.len();
+    let order: Vec<ThreadId> = match sim.cfg.policy {
+        PolicyKind::RoundRobin => {
+            let start = sim.res.fetch_rr % n;
+            (0..n).map(|k| (start + k) % n).collect()
+        }
+        _ => {
+            // ICOUNT: ascending in-flight front-end instruction count.
+            // Runahead threads are speculative, so they fetch with
+            // strictly lower priority than any normal thread — this is
+            // how a runahead thread avoids "limiting the available
+            // resources for other threads" (§3.2) at the fetch stage.
+            let mut order: Vec<ThreadId> = (0..n).collect();
+            let icounts: Vec<usize> = (0..n)
+                .map(|t| sim.threads[t].icount(&sim.res.iqs, t))
+                .collect();
+            let start = sim.res.fetch_rr % n; // stable tie-break rotation
+            order.sort_by_key(|&t| {
+                let speculative = sim.threads[t].mode == ExecMode::Runahead;
+                (speculative, icounts[t], (t + n - start) % n)
+            });
+            order
+        }
+    };
+    sim.res.fetch_rr += 1;
+
+    let mut slots = sim.cfg.width;
+    let mut threads_used = 0;
+    for tid in order {
+        if slots == 0 || threads_used >= sim.cfg.fetch_threads {
+            break;
+        }
+        if !fetchable(&sim.threads[tid], &sim.cfg, sim.now) {
+            continue;
+        }
+        let fetched = fetch_one(
+            &mut sim.threads[tid],
+            &mut sim.stats.threads[tid],
+            &mut sim.res,
+            &sim.cfg,
+            sim.now,
+            tid,
+            slots,
+        );
+        if fetched > 0 {
+            slots -= fetched;
+            threads_used += 1;
+        }
+    }
+}
+
+fn fetchable(t: &Thread, cfg: &SmtConfig, now: Cycle) -> bool {
+    if t.fetch_gated(now) {
+        return false;
+    }
+    if t.frontend.len() >= cfg.fetch_buffer {
+        return false;
+    }
+    if t.mode == ExecMode::Runahead && cfg.runahead.variant == RunaheadVariant::NoFetch {
+        return false;
+    }
+    true
+}
+
+/// Fetches up to `max` instructions for one thread: the per-thread stage
+/// body, a function over the thread's own state plus the shared
+/// I-cache/predictor resources.
+fn fetch_one(
+    t: &mut Thread,
+    ts: &mut ThreadStats,
+    res: &mut SharedResources,
+    cfg: &SmtConfig,
+    now: Cycle,
+    tid: ThreadId,
+    max: usize,
+) -> usize {
+    let mut count = 0;
+    let mut cur_line = u64::MAX;
+    while count < max && t.frontend.len() < cfg.fetch_buffer {
+        let pc = t.oracle.fetch_pc();
+        let addr = tag_addr(tid, pc.byte_addr());
+        let line = addr & !63;
+        if line != cur_line {
+            let fres = res.hier.fetch_access(addr, now);
+            if fres.rejected {
+                break;
+            }
+            if !fres.l1_hit {
+                t.icache_wait = fres.ready_at;
+                break;
+            }
+            cur_line = line;
+        }
+        let rec = t.oracle.fetch_step();
+        ts.fetched += 1;
+        let kind = rec.inst.kind();
+        let mut predicted = None;
+        let mut mispredicted = false;
+        let hist_bits = t.hist.bits();
+        if kind == InstructionKind::Branch {
+            let dir = res.pred.predict(pred_key(tid, rec.pc), &t.hist);
+            predicted = Some(dir);
+            t.hist.push(rec.taken);
+            if dir != rec.taken {
+                mispredicted = true;
+                t.branch_gate = Some(rec.seq);
+            }
+        }
+        t.frontend.push_back(Fetched {
+            rec,
+            predicted,
+            mispredicted,
+            hist_bits,
+            ready_at: now + cfg.frontend_depth,
+        });
+        count += 1;
+        match kind {
+            InstructionKind::Branch if mispredicted => break,
+            InstructionKind::Branch if rec.taken => break,
+            InstructionKind::Jump => break,
+            _ => {}
+        }
+    }
+    count
+}

@@ -1,0 +1,305 @@
+//! Issue stage: age-ordered select per queue, functional-unit and MSHR
+//! arbitration, and the load/store timing model (including the runahead
+//! INV semantics and the STALL/FLUSH long-latency reactions).
+
+use rat_isa::InstructionKind;
+use rat_mem::AccessKind;
+
+use crate::config::RunaheadVariant;
+use crate::policy::PolicyKind;
+use crate::rob::EntryState;
+use crate::types::{Cycle, ExecMode, IqKind, PhysReg, RegClass, ThreadId};
+
+use super::{runahead, tag_addr, SmtSimulator};
+
+/// Result of attempting to issue one instruction.
+enum IssueOutcome {
+    Issued,
+    Retry,
+}
+
+/// Execution latency of a non-memory instruction.
+fn exec_latency(kind: InstructionKind) -> Cycle {
+    match kind {
+        InstructionKind::IntAlu | InstructionKind::Branch => 1,
+        InstructionKind::IntMul => 3,
+        InstructionKind::IntDiv => 20,
+        InstructionKind::FpAdd | InstructionKind::FpMul => 4,
+        InstructionKind::FpDiv => 12,
+        _ => 1,
+    }
+}
+
+/// Runs the issue stage for one cycle.
+pub(super) fn run(sim: &mut SmtSimulator) {
+    let mut budget = sim.cfg.width;
+    for kind in [IqKind::Int, IqKind::Fp, IqKind::Ls] {
+        let mut fu = sim.cfg.fu_count[kind.index()];
+        let mut retries: Vec<(u64, ThreadId, u64)> = Vec::new();
+        // Bound the scheduler scan per queue per cycle: a rejected
+        // (MSHR-full) load is set aside without consuming an issue
+        // port, so one thread's blocked misses cannot starve another
+        // thread's ready accesses.
+        let mut scan = 64usize;
+        while budget > 0 && fu > 0 && scan > 0 {
+            scan -= 1;
+            let Some((gseq, tid, seq)) = sim.res.iqs.pop_ready(kind) else {
+                break;
+            };
+            {
+                let Some(e) = sim.threads[tid].rob.get(seq) else {
+                    continue;
+                };
+                if e.gseq != gseq || e.state != EntryState::WaitIssue || e.waiting != 0 {
+                    continue;
+                }
+            }
+            match issue_one(sim, tid, seq) {
+                IssueOutcome::Issued => {
+                    budget -= 1;
+                    fu -= 1;
+                }
+                IssueOutcome::Retry => {
+                    retries.push((gseq, tid, seq));
+                }
+            }
+        }
+        for (gseq, tid, seq) in retries {
+            sim.res.iqs.push_ready(kind, gseq, tid, seq);
+        }
+    }
+}
+
+fn issue_one(sim: &mut SmtSimulator, tid: ThreadId, seq: u64) -> IssueOutcome {
+    // Gather what we need, holding the borrow briefly. Memory ops
+    // execute under the thread's *current* mode: instructions in
+    // flight when runahead begins become runahead instructions
+    // (their L2 misses turn INV instead of blocking pseudo-retire).
+    let (srcs, entry_kind, eff_addr, inv_already) = {
+        let e = sim.threads[tid].rob.get(seq).expect("issuing entry");
+        (e.srcs, e.kind, e.rec.eff_addr, e.inv)
+    };
+    let mode = sim.threads[tid].mode;
+    let reg_inv = |class: RegClass, p: PhysReg| sim.res.rf_ref(class).is_inv(p);
+    let src_inv = srcs.iter().flatten().any(|&(class, p)| reg_inv(class, p));
+    let mut inv = inv_already || src_inv;
+
+    let ready_at = match entry_kind {
+        InstructionKind::Load => {
+            match issue_load(
+                sim,
+                tid,
+                seq,
+                eff_addr.expect("load has address"),
+                mode,
+                inv,
+            ) {
+                Some(r) => r,
+                None => {
+                    // MSHR rejection: the entry state was never changed, so
+                    // it stays WaitIssue and in its IQ — retry next cycle.
+                    return IssueOutcome::Retry;
+                }
+            }
+        }
+        InstructionKind::Store => {
+            // For a store only the *address* (src 0) going INV makes the
+            // whole operation bogus; INV data still allows the address
+            // access (write-allocate prefetch) and, with the runahead
+            // cache, records the INV status for later loads (§3.3).
+            let base_inv = inv_already || srcs[0].is_some_and(|(c, p)| reg_inv(c, p));
+            let data_inv = srcs[1].is_some_and(|(c, p)| reg_inv(c, p));
+            inv = base_inv;
+            issue_store(
+                sim,
+                tid,
+                eff_addr.expect("store has address"),
+                mode,
+                base_inv,
+                data_inv,
+            )
+        }
+        k => sim.now + exec_latency(k),
+    };
+
+    let e = sim.threads[tid].rob.get_mut(seq).expect("issuing entry");
+    e.state = EntryState::Executing;
+    // issue_load may have set e.inv itself (L2 miss in runahead).
+    e.inv = e.inv || inv;
+    e.ready_at = ready_at;
+    let gseq = e.gseq;
+    let was_iq = e.iq.take();
+    if let Some(k) = was_iq {
+        sim.res.iqs.remove(k, tid);
+    }
+    sim.res.schedule_completion(ready_at, tid, seq, gseq);
+    sim.stats.threads[tid].issued += 1;
+    IssueOutcome::Issued
+}
+
+/// Computes a load's completion cycle. Returns `None` when the access
+/// was rejected (MSHRs full) and must retry. May mark the entry INV
+/// (runahead L2 miss / suppressed access).
+fn issue_load(
+    sim: &mut SmtSimulator,
+    tid: ThreadId,
+    seq: u64,
+    addr: u64,
+    mode: ExecMode,
+    inv_in: bool,
+) -> Option<Cycle> {
+    let dlat = sim.cfg.hierarchy.dcache.latency;
+    // Bogus address (INV base propagated at issue): fold silently.
+    if inv_in {
+        return Some(sim.now + 1);
+    }
+    let tagged = tag_addr(tid, addr);
+    // Runahead cache (§3.3): a load reading a word written with INV
+    // data during this episode observes the INV status.
+    if mode == ExecMode::Runahead
+        && sim.cfg.runahead.runahead_cache
+        && sim.threads[tid].ra_inv_words.contains(&(addr & !7))
+    {
+        let e = sim.threads[tid].rob.get_mut(seq).expect("load entry");
+        e.inv = true;
+        return Some(sim.now + 1);
+    }
+    // Store→load forwarding (word-granular, oracle addresses).
+    if sim.threads[tid].store_addrs.contains_key(&(addr & !7)) {
+        sim.stats.threads[tid].forwarded_loads += 1;
+        return Some(sim.now + dlat);
+    }
+
+    match mode {
+        ExecMode::Normal => {
+            let res = sim.res.hier.data_access(tagged, AccessKind::Load, sim.now);
+            if res.rejected {
+                return None;
+            }
+            if !res.l1_hit {
+                let e = sim.threads[tid].rob.get_mut(seq).expect("load entry");
+                e.dmiss = true;
+                sim.threads[tid].dmiss_inflight += 1;
+                sim.stats.threads[tid].dmiss_loads += 1;
+            }
+            if res.l2_miss {
+                {
+                    let e = sim.threads[tid].rob.get_mut(seq).expect("load entry");
+                    e.l2_miss = true;
+                }
+                sim.stats.threads[tid].l2_miss_loads += 1;
+                match sim.cfg.policy {
+                    PolicyKind::Stall => {
+                        sim.threads[tid].longlat_gate =
+                            sim.threads[tid].longlat_gate.max(res.ready_at);
+                    }
+                    PolicyKind::Flush
+                        // One flush per long-latency episode: while the
+                        // thread is already fetch-gated on a miss, later
+                        // misses do not re-flush (Tullsen & Brown flush
+                        // on the first detected L2 miss).
+                        if sim.now >= sim.threads[tid].longlat_gate => {
+                            runahead::flush_thread(sim, tid, seq, res.ready_at);
+                        }
+                    _ => {}
+                }
+            }
+            Some(res.ready_at)
+        }
+        ExecMode::Runahead => {
+            if sim.threads[tid].diverged {
+                // Off the most-likely path: no useful prefetch; model
+                // as a short-latency bogus access.
+                return Some(sim.now + dlat);
+            }
+            match sim.cfg.runahead.variant {
+                RunaheadVariant::NoPrefetch => {
+                    match sim.res.hier.l1_data_probe(tagged, sim.now) {
+                        Some(ready) => Some(ready),
+                        None => {
+                            // Would miss: invalid, no L2 access; and do
+                            // not re-trigger runahead on this load
+                            // after recovery (keeps episode timing
+                            // comparable to Full).
+                            let e = sim.threads[tid].rob.get_mut(seq).expect("load entry");
+                            e.inv = true;
+                            sim.threads[tid].no_retrigger.insert(seq);
+                            sim.stats.threads[tid].runahead_inv_loads += 1;
+                            Some(sim.now + 1)
+                        }
+                    }
+                }
+                _ => {
+                    // Runahead accesses are speculative: they take the
+                    // prefetch MSHR-arbitration class so demand misses
+                    // of other threads are never starved.
+                    let res = sim
+                        .res
+                        .hier
+                        .data_access(tagged, AccessKind::Prefetch, sim.now);
+                    if res.rejected {
+                        // No MSHR for a speculative miss: drop the
+                        // prefetch and mark the value bogus, as real
+                        // runahead engines do — a runahead load must
+                        // never camp on the window head retrying.
+                        let e = sim.threads[tid].rob.get_mut(seq).expect("load entry");
+                        e.inv = true;
+                        sim.threads[tid].no_retrigger.insert(seq);
+                        return Some(sim.now + 1);
+                    }
+                    if !res.l1_hit {
+                        sim.stats.threads[tid].runahead_prefetches += 1;
+                    }
+                    if res.l2_miss {
+                        // The paper's key behavior: a runahead L2 miss
+                        // turns INV immediately (value bogus) while its
+                        // prefetch proceeds in the memory system.
+                        let e = sim.threads[tid].rob.get_mut(seq).expect("load entry");
+                        e.inv = true;
+                        sim.stats.threads[tid].runahead_inv_loads += 1;
+                        Some(sim.now + 1)
+                    } else {
+                        Some(res.ready_at)
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Stores complete quickly (store buffer); their cache access is for
+/// write-allocation and, during runahead, prefetching. `base_inv`
+/// suppresses the access entirely (unknown address); `data_inv` feeds
+/// the optional runahead cache.
+fn issue_store(
+    sim: &mut SmtSimulator,
+    tid: ThreadId,
+    addr: u64,
+    mode: ExecMode,
+    base_inv: bool,
+    data_inv: bool,
+) -> Cycle {
+    if !base_inv {
+        let tagged = tag_addr(tid, addr);
+        match mode {
+            ExecMode::Normal => {
+                let _ = sim.res.hier.data_access(tagged, AccessKind::Store, sim.now);
+            }
+            ExecMode::Runahead => {
+                if !sim.threads[tid].diverged && sim.cfg.runahead.variant == RunaheadVariant::Full {
+                    let res = sim
+                        .res
+                        .hier
+                        .data_access(tagged, AccessKind::Prefetch, sim.now);
+                    if !res.rejected && !res.l1_hit {
+                        sim.stats.threads[tid].runahead_prefetches += 1;
+                    }
+                }
+                if sim.cfg.runahead.runahead_cache && data_inv {
+                    sim.threads[tid].ra_inv_words.insert(addr & !7);
+                }
+            }
+        }
+    }
+    sim.now + 1
+}

@@ -1,0 +1,365 @@
+//! The cycle-level SMT pipeline simulator, decomposed by stage.
+//!
+//! Stage order within a cycle (reverse pipeline order, standard for
+//! cycle-accurate models): complete → runahead exits → commit (and
+//! runahead entry) → issue → dispatch/rename → fetch → per-cycle policy
+//! and statistics updates.
+//!
+//! # Module map
+//!
+//! One file per stage, in reverse-pipeline order, plus the shared
+//! back-end structures:
+//!
+//! | module        | owns                                                    |
+//! |---------------|---------------------------------------------------------|
+//! | [`resources`] | [`SharedResources`]: register files, issue queues, cache hierarchy, predictor, completion heap, and the policy arbitration state (DCRA/Hill caps, round-robin pointers) behind a narrow API |
+//! | [`complete`]  | writeback: completion heap drain, register wakeup, branch resolution |
+//! | [`runahead`]  | episode entry/exit, INV propagation, squash machinery (shared with FLUSH) |
+//! | [`commit`]    | architectural commit and runahead pseudo-retirement     |
+//! | [`issue`]     | age-ordered select, functional-unit/MSHR arbitration, load/store timing |
+//! | [`dispatch`]  | rename, resource allocation, runahead folding, DCRA/Hill dispatch gates |
+//! | [`fetch`]     | fetch policy ordering (ICOUNT/RR), I-cache access, branch prediction |
+//!
+//! Per-thread microarchitectural state lives in [`Thread`]; everything
+//! threads share (and contend for) lives in [`SharedResources`]. A stage
+//! is a function over `(&mut Thread, &mut SharedResources, &SmtConfig)`
+//! where the work is thread-local (e.g. [`fetch`]); stages whose
+//! arbitration inherently crosses threads (wakeup, commit bandwidth,
+//! DCRA entitlements) take the whole simulator and split the borrows
+//! internally.
+
+mod commit;
+mod complete;
+mod dispatch;
+mod fetch;
+mod issue;
+mod resources;
+mod runahead;
+#[cfg(test)]
+mod tests;
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use rat_bpred::GlobalHistory;
+use rat_isa::{ExecRecord, Pc};
+use rat_mem::Hierarchy;
+
+use crate::config::SmtConfig;
+use crate::frontend::OracleThread;
+use crate::rename::RenameTables;
+use crate::rob::ThreadRob;
+use crate::stats::{SimStats, ThreadStats};
+use crate::types::{Cycle, ExecMode, IqKind, PhysReg, RegClass, ThreadId};
+
+use resources::SharedResources;
+
+/// An instruction sitting in a thread's fetch buffer.
+#[derive(Clone, Copy, Debug)]
+struct Fetched {
+    rec: ExecRecord,
+    predicted: Option<bool>,
+    mispredicted: bool,
+    hist_bits: u64,
+    ready_at: Cycle,
+}
+
+/// A live runahead episode.
+#[derive(Clone, Copy, Debug)]
+struct Episode {
+    trigger_seq: u64,
+    entered_at: Cycle,
+    exit_at: Cycle,
+}
+
+/// Per-thread microarchitectural state: everything a hardware context
+/// owns privately. Shared, contended structures live in
+/// [`SharedResources`].
+struct Thread {
+    oracle: OracleThread,
+    frontend: VecDeque<Fetched>,
+    rob: ThreadRob,
+    rename: RenameTables,
+    mode: ExecMode,
+    episode: Option<Episode>,
+    diverged: bool,
+    /// Rename-time INV bits over architectural registers (flat index).
+    arch_inv: [bool; 64],
+    /// Registers allocated during (or in flight at the start of) the
+    /// current runahead episode.
+    episode_regs: Vec<(RegClass, PhysReg)>,
+    /// Fetch blocked until this cycle by an I-cache miss.
+    icache_wait: Cycle,
+    /// Fetch blocked by an unresolved mispredicted branch (its seq).
+    branch_gate: Option<u64>,
+    /// Fetch blocked until this cycle by STALL/FLUSH long-latency gating.
+    longlat_gate: Cycle,
+    /// In-flight store addresses (word-granular) for store→load forwarding.
+    store_addrs: HashMap<u64, u32>,
+    hist: GlobalHistory,
+    dmiss_inflight: usize,
+    fp_user: bool,
+    /// Loads seen (and suppressed) during NoPrefetch runahead: they do not
+    /// re-trigger runahead after recovery (paper §6.1).
+    no_retrigger: HashSet<u64>,
+    /// Runahead cache (§3.3, optional): word addresses written by runahead
+    /// stores whose *data* was INV. With the runahead cache enabled, later
+    /// runahead loads from these words observe the INV status; without it
+    /// they silently use stale values (the paper's default).
+    ra_inv_words: HashSet<u64>,
+}
+
+impl Thread {
+    fn icount(&self, iqs: &crate::iq::IssueQueues, tid: ThreadId) -> usize {
+        self.frontend.len() + iqs.thread_total(tid)
+    }
+
+    /// If `dst_arch`'s current speculative mapping is `p`, propagate the
+    /// INV status to the rename-time INV bit vector (keeps the two INV
+    /// planes consistent).
+    fn set_arch_inv_if_current(&mut self, dst_arch: rat_isa::ArchReg, p: PhysReg) {
+        if self.rename.lookup(dst_arch) == p {
+            self.arch_inv[dst_arch.flat_index()] = true;
+        }
+    }
+
+    /// Registers an in-flight store for store→load forwarding.
+    fn add_store_addr(&mut self, addr: u64) {
+        *self.store_addrs.entry(addr & !7).or_insert(0) += 1;
+    }
+
+    /// Drops one in-flight store (commit, pseudo-retire, squash).
+    fn remove_store_addr(&mut self, addr: u64) {
+        let word = addr & !7;
+        if let Some(c) = self.store_addrs.get_mut(&word) {
+            *c -= 1;
+            if *c == 0 {
+                self.store_addrs.remove(&word);
+            }
+        }
+    }
+
+    /// Whether any front-end gate (I-cache refill, unresolved
+    /// misprediction, STALL/FLUSH long-latency gate) blocks fetch now.
+    fn fetch_gated(&self, now: Cycle) -> bool {
+        now < self.icache_wait || self.branch_gate.is_some() || now < self.longlat_gate
+    }
+}
+
+/// Thread-tags a per-thread virtual address so threads contend in the
+/// shared caches without aliasing each other.
+#[inline]
+fn tag_addr(tid: ThreadId, addr: u64) -> u64 {
+    addr | (((tid as u64) + 1) << 44)
+}
+
+/// Predictor table key: PC hashed with the thread id so threads alias
+/// each other's perceptron rows only incidentally (shared tables).
+#[inline]
+fn pred_key(tid: ThreadId, pc: Pc) -> u64 {
+    pc.byte_addr() ^ ((tid as u64).wrapping_mul(0x9E37_79B1) << 12)
+}
+
+/// The SMT processor simulator. Construct with a configuration and one
+/// prepared functional [`rat_isa::Cpu`] per hardware context (see
+/// `rat_workload::ThreadImage::build_cpu`), then run cycles until the
+/// measurement quota is met.
+pub struct SmtSimulator {
+    cfg: SmtConfig,
+    threads: Vec<Thread>,
+    res: SharedResources,
+    stats: SimStats,
+    now: Cycle,
+    last_progress: Cycle,
+}
+
+impl SmtSimulator {
+    /// Builds a simulator over the given thread images.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no threads, more than 8, or the register files
+    /// are too small to hold every thread's architectural state (the paper
+    /// notes N threads need 32·N registers per file just for precise
+    /// state).
+    pub fn new(cfg: SmtConfig, cpus: Vec<rat_isa::Cpu>) -> Self {
+        cfg.validate();
+        let n = cpus.len();
+        assert!((1..=8).contains(&n), "1..=8 hardware threads supported");
+        assert!(
+            cfg.int_regs >= 32 * n && cfg.fp_regs >= 32 * n,
+            "register file too small for {n} threads' architectural state"
+        );
+
+        let mut res = SharedResources::new(&cfg, n);
+        let mut threads = Vec::with_capacity(n);
+        for (tid, cpu) in cpus.into_iter().enumerate() {
+            let init_int: [PhysReg; 32] = std::array::from_fn(|_| {
+                let p = res.int_rf.alloc(tid).expect("int regs for arch state");
+                res.int_rf.set_ready(p);
+                p
+            });
+            let init_fp: [PhysReg; 32] = std::array::from_fn(|_| {
+                let p = res.fp_rf.alloc(tid).expect("fp regs for arch state");
+                res.fp_rf.set_ready(p);
+                p
+            });
+            threads.push(Thread {
+                oracle: OracleThread::new(cpu),
+                frontend: VecDeque::with_capacity(cfg.fetch_buffer),
+                rob: ThreadRob::new(),
+                rename: RenameTables::new(init_int, init_fp),
+                mode: ExecMode::Normal,
+                episode: None,
+                diverged: false,
+                arch_inv: [false; 64],
+                episode_regs: Vec::new(),
+                icache_wait: 0,
+                branch_gate: None,
+                longlat_gate: 0,
+                store_addrs: HashMap::new(),
+                hist: GlobalHistory::new(),
+                dmiss_inflight: 0,
+                fp_user: false,
+                no_retrigger: HashSet::new(),
+                ra_inv_words: HashSet::new(),
+            });
+        }
+
+        SmtSimulator {
+            stats: SimStats {
+                cycles: 0,
+                cycles_at_reset: 0,
+                threads: vec![ThreadStats::default(); n],
+            },
+            now: 0,
+            last_progress: 0,
+            threads,
+            res,
+            cfg,
+        }
+    }
+
+    /// Number of hardware threads.
+    pub fn num_threads(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Elapsed cycles.
+    pub fn cycles(&self) -> Cycle {
+        self.now
+    }
+
+    /// All statistics.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// One thread's statistics.
+    pub fn thread_stats(&self, tid: ThreadId) -> &ThreadStats {
+        &self.stats.threads[tid]
+    }
+
+    /// The shared memory hierarchy (cache statistics).
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.res.hier
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SmtConfig {
+        &self.cfg
+    }
+
+    /// In-flight ROB entries of `tid` (diagnostics).
+    pub fn debug_rob_len(&self, tid: ThreadId) -> usize {
+        self.threads[tid].rob.len()
+    }
+
+    /// Issue-queue occupancy of `tid` in `kind` (diagnostics).
+    pub fn debug_iq_occ(&self, tid: ThreadId, kind: IqKind) -> usize {
+        self.res.iqs.thread_occupancy(tid, kind)
+    }
+
+    /// Integer registers held by `tid` (diagnostics).
+    pub fn debug_int_regs(&self, tid: ThreadId) -> usize {
+        self.res.int_rf.allocated(tid)
+    }
+
+    /// Zeroes measurement counters (end of warmup). Committed-instruction
+    /// baselines and the cycle base are recorded so quota and IPC windows
+    /// start here.
+    pub fn reset_stats(&mut self) {
+        self.stats.cycles_at_reset = self.now;
+        for t in self.stats.threads.iter_mut() {
+            let committed = t.committed;
+            *t = ThreadStats {
+                committed,
+                committed_at_reset: committed,
+                ..ThreadStats::default()
+            };
+        }
+    }
+
+    /// Runs until every thread has committed `quota` instructions since
+    /// the last stats reset, or `max_cycles` more cycles elapse. Returns
+    /// `true` if every thread met the quota (the FAME-like condition that
+    /// every thread is fully represented).
+    pub fn run_until_quota(&mut self, quota: u64, max_cycles: Cycle) -> bool {
+        let deadline = self.now + max_cycles;
+        loop {
+            self.cycle();
+            let mut all = true;
+            for tid in 0..self.threads.len() {
+                let ts = &mut self.stats.threads[tid];
+                if ts.quota_cycle.is_none() {
+                    if ts.committed_since_reset() >= quota {
+                        ts.quota_cycle = Some(self.now);
+                        ts.committed_at_quota = ts.committed;
+                    } else {
+                        all = false;
+                    }
+                }
+            }
+            if all {
+                return true;
+            }
+            if self.now >= deadline {
+                return false;
+            }
+        }
+    }
+
+    /// Advances the pipeline one cycle.
+    pub fn cycle(&mut self) {
+        self.now += 1;
+        self.stats.cycles = self.now;
+        complete::run(self);
+        runahead::process_exits(self);
+        commit::run(self);
+        issue::run(self);
+        dispatch::run(self);
+        fetch::run(self);
+        self.per_cycle_updates();
+        assert!(
+            self.now - self.last_progress < 200_000,
+            "pipeline deadlock: no commit for 200k cycles at cycle {} (rob occupancy {})",
+            self.now,
+            self.res.rob_occupancy
+        );
+    }
+
+    // ---- per-cycle policy & stats updates ----
+
+    fn per_cycle_updates(&mut self) {
+        if let Some(hill) = &mut self.res.hill {
+            let total: u64 = self.stats.threads.iter().map(|t| t.committed).sum();
+            hill.on_cycle(self.now, total);
+        }
+        for tid in 0..self.threads.len() {
+            let m = self.threads[tid].mode.index();
+            let ts = &mut self.stats.threads[tid];
+            ts.mode_cycles[m] += 1;
+            ts.int_reg_cycles[m] += self.res.int_rf.allocated(tid) as u64;
+            ts.fp_reg_cycles[m] += self.res.fp_rf.allocated(tid) as u64;
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! The structures every hardware thread contends for, behind a narrow
+//! arbitration API.
+//!
+//! [`SharedResources`] owns the physical register files, issue queues,
+//! cache hierarchy, branch predictor tables, the completion event heap,
+//! the shared-ROB occupancy budget, and the per-policy arbitration state
+//! (round-robin pointers, DCRA weights, Hill-Climbing shares). Stages
+//! operate on `(&mut Thread, &mut SharedResources, &SmtConfig)` and go
+//! through these methods for anything shared; policies gate dispatch via
+//! the single [`SharedResources::allows_dispatch`] entry point instead of
+//! ad-hoc fields sprinkled over the pipeline.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rat_bpred::PerceptronPredictor;
+use rat_isa::ArchReg;
+use rat_mem::Hierarchy;
+
+use crate::config::SmtConfig;
+use crate::iq::IssueQueues;
+use crate::policy::{dcra_caps, dcra_weight, HillState, PolicyKind};
+use crate::regfile::PhysRegFile;
+use crate::rob::EntryState;
+use crate::types::{Cycle, IqKind, PhysReg, RegClass, ThreadId};
+
+use super::Thread;
+
+/// Shared back-end structures plus arbitration state.
+pub(super) struct SharedResources {
+    pub(super) int_rf: PhysRegFile,
+    pub(super) fp_rf: PhysRegFile,
+    pub(super) iqs: IssueQueues,
+    pub(super) hier: Hierarchy,
+    pub(super) pred: PerceptronPredictor,
+    /// Pending completion events: `(ready_at, tid, seq, gseq)`.
+    completions: BinaryHeap<Reverse<(Cycle, ThreadId, u64, u64)>>,
+    /// Global dispatch-order stamp (unique per dispatched instance).
+    pub(super) gseq: u64,
+    /// Shared-ROB occupancy (the 512-entry capacity budget).
+    pub(super) rob_occupancy: usize,
+    pub(super) commit_rr: usize,
+    pub(super) dispatch_rr: usize,
+    pub(super) fetch_rr: usize,
+    pub(super) hill: Option<HillState>,
+    pub(super) dcra_slow_weight: f64,
+}
+
+impl SharedResources {
+    /// Builds the shared structures for `n` hardware threads.
+    pub(super) fn new(cfg: &SmtConfig, n: usize) -> Self {
+        let hill = if cfg.policy == PolicyKind::Hill {
+            Some(HillState::new(n, 4096, 0.05))
+        } else {
+            None
+        };
+        SharedResources {
+            int_rf: PhysRegFile::new(cfg.int_regs, n),
+            fp_rf: PhysRegFile::new(cfg.fp_regs, n),
+            iqs: IssueQueues::new(cfg.iq_size, n, cfg.int_regs, cfg.fp_regs),
+            hier: Hierarchy::new(cfg.hierarchy),
+            pred: PerceptronPredictor::new(cfg.bpred_table, cfg.bpred_history),
+            completions: BinaryHeap::new(),
+            gseq: 0,
+            rob_occupancy: 0,
+            commit_rr: 0,
+            dispatch_rr: 0,
+            fetch_rr: 0,
+            hill,
+            dcra_slow_weight: 4.0,
+        }
+    }
+
+    /// The register file of `class`.
+    pub(super) fn rf(&mut self, class: RegClass) -> &mut PhysRegFile {
+        match class {
+            RegClass::Int => &mut self.int_rf,
+            RegClass::Fp => &mut self.fp_rf,
+        }
+    }
+
+    /// Read access to the register file of `class`.
+    pub(super) fn rf_ref(&self, class: RegClass) -> &PhysRegFile {
+        match class {
+            RegClass::Int => &self.int_rf,
+            RegClass::Fp => &self.fp_rf,
+        }
+    }
+
+    /// Frees `p` if it is episode-tagged and still owned by `tid` — the
+    /// early-release rule shared by pseudo-retirement, squash cleanup and
+    /// the episode-exit sweep.
+    pub(super) fn free_if_episode_owned(&mut self, class: RegClass, p: PhysReg, tid: ThreadId) {
+        if self.rf_ref(class).in_episode(p) && self.rf_ref(class).owned_by(p, tid) {
+            self.rf(class).free(p, tid);
+        }
+    }
+
+    /// Schedules a completion event.
+    pub(super) fn schedule_completion(
+        &mut self,
+        ready_at: Cycle,
+        tid: ThreadId,
+        seq: u64,
+        gseq: u64,
+    ) {
+        self.completions.push(Reverse((ready_at, tid, seq, gseq)));
+    }
+
+    /// Pops the next completion event due at or before `now`.
+    pub(super) fn pop_due_completion(&mut self, now: Cycle) -> Option<(ThreadId, u64, u64)> {
+        let &Reverse((ready, tid, seq, gseq)) = self.completions.peek()?;
+        if ready > now {
+            return None;
+        }
+        self.completions.pop();
+        Some((tid, seq, gseq))
+    }
+
+    /// Marks a produced register ready (and possibly INV), waking waiters
+    /// across all threads' windows.
+    pub(super) fn wake_register(
+        &mut self,
+        threads: &mut [Thread],
+        class: RegClass,
+        p: PhysReg,
+        inv: bool,
+    ) {
+        {
+            let rf = self.rf(class);
+            if inv {
+                rf.set_inv(p);
+            }
+            rf.set_ready(p);
+        }
+        let waiters = self.iqs.take_waiters(class, p);
+        for (tid, seq, gseq) in waiters {
+            let Some(e) = threads[tid].rob.get_mut(seq) else {
+                continue;
+            };
+            if e.gseq != gseq || e.state != EntryState::WaitIssue || e.waiting == 0 {
+                continue;
+            }
+            e.waiting -= 1;
+            if e.waiting == 0 {
+                let kind = e.iq.expect("waiting entry sits in an IQ");
+                self.iqs.push_ready(kind, e.gseq, tid, seq);
+            }
+        }
+    }
+
+    // ---- policy dispatch gate ----
+
+    /// The single dispatch-gating entry point: DCRA and Hill Climbing cap
+    /// a thread's issue-queue entries and renaming registers here; every
+    /// other policy admits unconditionally (STALL/FLUSH gate *fetch*, via
+    /// `Thread::fetch_gated`).
+    pub(super) fn allows_dispatch(
+        &self,
+        cfg: &SmtConfig,
+        threads: &[Thread],
+        tid: ThreadId,
+        iq_kind: Option<IqKind>,
+        dst_arch: Option<ArchReg>,
+    ) -> bool {
+        match cfg.policy {
+            PolicyKind::Dcra => self.dcra_allows(cfg, threads, tid, iq_kind, dst_arch),
+            PolicyKind::Hill => self.hill_allows(cfg, threads, tid, iq_kind, dst_arch),
+            _ => true,
+        }
+    }
+
+    fn dcra_allows(
+        &self,
+        cfg: &SmtConfig,
+        threads: &[Thread],
+        tid: ThreadId,
+        iq_kind: Option<IqKind>,
+        dst_arch: Option<ArchReg>,
+    ) -> bool {
+        let n = threads.len();
+        if n == 1 {
+            return true;
+        }
+        let slow: Vec<bool> = threads.iter().map(|t| t.dmiss_inflight > 0).collect();
+        // Integer resources: every thread participates.
+        let int_weights: Vec<f64> = (0..n)
+            .map(|t| dcra_weight(slow[t], true, self.dcra_slow_weight))
+            .collect();
+        // FP resources: only threads that have touched FP.
+        let fp_weights: Vec<f64> = (0..n)
+            .map(|t| dcra_weight(slow[t], threads[t].fp_user, self.dcra_slow_weight))
+            .collect();
+
+        if let Some(k) = iq_kind {
+            let total = cfg.iq_size[k.index()];
+            let weights = if k == IqKind::Fp {
+                &fp_weights
+            } else {
+                &int_weights
+            };
+            let caps = dcra_caps(total, weights);
+            if self.iqs.thread_occupancy(tid, k) >= caps[tid].max(4) {
+                return false;
+            }
+        }
+        if let Some(arch) = dst_arch {
+            // Only the *renaming* (non-architectural) registers are shared:
+            // 32 per thread are pinned for precise state.
+            let pinned = 32 * n;
+            if arch.is_int() {
+                let shared = cfg.int_regs.saturating_sub(pinned);
+                let caps = dcra_caps(shared, &int_weights);
+                if self.int_rf.allocated(tid).saturating_sub(32) >= caps[tid].max(4) {
+                    return false;
+                }
+            } else {
+                let shared = cfg.fp_regs.saturating_sub(pinned);
+                let caps = dcra_caps(shared, &fp_weights);
+                if self.fp_rf.allocated(tid).saturating_sub(32) >= caps[tid].max(4) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn hill_allows(
+        &self,
+        cfg: &SmtConfig,
+        threads: &[Thread],
+        tid: ThreadId,
+        iq_kind: Option<IqKind>,
+        dst_arch: Option<ArchReg>,
+    ) -> bool {
+        let Some(hill) = &self.hill else { return true };
+        let share = hill.share(tid);
+        if threads[tid].rob.len() >= ((cfg.rob_size as f64) * share) as usize {
+            return false;
+        }
+        if let Some(k) = iq_kind {
+            let cap = ((cfg.iq_size[k.index()] as f64) * share) as usize;
+            if self.iqs.thread_occupancy(tid, k) >= cap.max(4) {
+                return false;
+            }
+        }
+        if let Some(arch) = dst_arch {
+            let n = threads.len();
+            let pinned = 32 * n;
+            let (total, used) = if arch.is_int() {
+                (cfg.int_regs, self.int_rf.allocated(tid))
+            } else {
+                (cfg.fp_regs, self.fp_rf.allocated(tid))
+            };
+            let shared = total.saturating_sub(pinned);
+            let cap = ((shared as f64) * share) as usize;
+            if used.saturating_sub(32) >= cap.max(4) {
+                return false;
+            }
+        }
+        true
+    }
+}

@@ -1,0 +1,192 @@
+//! Runahead episode entry/exit, INV propagation, and the squash
+//! machinery shared with the FLUSH policy.
+//!
+//! Entry ([`enter_runahead`], called from the commit stage when an
+//! L2-miss load blocks the window head): in-flight L2-miss loads
+//! pseudo-complete INV, every in-flight destination register is
+//! episode-tagged for early release, and the thread switches to
+//! [`ExecMode::Runahead`]. Exit ([`process_exits`], when the trigger's
+//! fill arrives): the entire window is squashed, episode registers are
+//! swept, the rename checkpoint (`fmap := amap`) is restored, and the
+//! fetch oracle rewinds to the trigger load.
+
+use rat_isa::ExecRecord;
+
+use crate::rob::{EntryState, RobEntry};
+use crate::types::{Cycle, ExecMode, PhysReg, RegClass, ThreadId};
+
+use super::{Episode, SmtSimulator};
+
+/// Exits every episode whose trigger fill has arrived.
+pub(super) fn process_exits(sim: &mut SmtSimulator) {
+    for tid in 0..sim.threads.len() {
+        if let Some(ep) = sim.threads[tid].episode {
+            if sim.now >= ep.exit_at {
+                exit_runahead(sim, tid);
+            }
+        }
+    }
+}
+
+/// Enters runahead on `tid` (its ROB head is an L2-miss load).
+pub(super) fn enter_runahead(sim: &mut SmtSimulator, tid: ThreadId) {
+    let trigger_seq;
+    let exit_at;
+    {
+        let front = sim.threads[tid].rob.front().expect("trigger at head");
+        debug_assert!(front.is_load() && front.l2_miss);
+        trigger_seq = front.seq;
+        exit_at = front.ready_at;
+    }
+    sim.threads[tid].mode = ExecMode::Runahead;
+    sim.threads[tid].diverged = false;
+    sim.threads[tid].episode = Some(Episode {
+        trigger_seq,
+        entered_at: sim.now,
+        exit_at,
+    });
+    sim.stats.threads[tid].runahead_episodes += 1;
+
+    // Invalidate the trigger and any other in-flight L2-miss loads:
+    // they pseudo-complete with bogus values (their fills keep
+    // prefetching in the hierarchy), and every in-flight register
+    // becomes episode-owned so pseudo-retirement can free it early.
+    let mut conversions: Vec<(RegClass, PhysReg, Option<rat_isa::ArchReg>)> = Vec::new();
+    let mut dmiss_drop = 0;
+    {
+        let thread = &mut sim.threads[tid];
+        for e in thread.rob.iter_mut() {
+            if e.is_load() && e.state == EntryState::Executing && e.l2_miss && !e.inv {
+                e.inv = true;
+                e.state = EntryState::Done;
+                if e.dmiss {
+                    dmiss_drop += 1;
+                    e.dmiss = false;
+                }
+                if let Some((class, p)) = e.dst {
+                    conversions.push((class, p, e.dst_arch));
+                }
+            }
+        }
+        thread.dmiss_inflight -= dmiss_drop;
+    }
+    sim.stats.threads[tid].runahead_inv_loads += conversions.len() as u64;
+    for (class, p, dst_arch) in conversions {
+        sim.res.wake_register(&mut sim.threads, class, p, true);
+        if let Some(arch) = dst_arch {
+            sim.threads[tid].set_arch_inv_if_current(arch, p);
+        }
+    }
+
+    // Episode-tag every in-flight destination register.
+    let dsts: Vec<(RegClass, PhysReg)> =
+        sim.threads[tid].rob.iter().filter_map(|e| e.dst).collect();
+    for &(class, p) in &dsts {
+        sim.res.rf(class).mark_episode(p);
+    }
+    sim.threads[tid].episode_regs.extend(dsts);
+}
+
+fn exit_runahead(sim: &mut SmtSimulator, tid: ThreadId) {
+    let ep = sim.threads[tid].episode.take().expect("episode to exit");
+
+    // Squash the thread's entire window (all of it is runahead work).
+    while let Some(e) = sim.threads[tid].rob.pop_back() {
+        cleanup_squashed(sim, tid, &e, false);
+    }
+    // Sweep episode registers that pseudo-retirement did not yet free.
+    // A register freed earlier and re-allocated (possibly to another
+    // thread) must be skipped: the ownership check makes the stale
+    // episode-list entry harmless.
+    let regs = std::mem::take(&mut sim.threads[tid].episode_regs);
+    for (class, p) in regs {
+        sim.res.free_if_episode_owned(class, p, tid);
+    }
+    // Restore the checkpoint: speculative map := architectural map.
+    sim.threads[tid].rename.reset_to_arch();
+
+    let squashed_frontend = sim.threads[tid].frontend.len() as u64;
+    {
+        let thread = &mut sim.threads[tid];
+        thread.arch_inv = [false; 64];
+        thread.frontend.clear();
+        thread.branch_gate = None;
+        thread.icache_wait = 0;
+        thread.diverged = false;
+        thread.mode = ExecMode::Normal;
+        thread.dmiss_inflight = 0;
+        thread.ra_inv_words.clear();
+        // Rewind the fetch oracle to the retirement point (= the
+        // trigger load's PC: it re-executes and now hits in the cache).
+        thread.oracle.rewind(std::iter::empty());
+        debug_assert_eq!(thread.oracle.next_seq(), ep.trigger_seq);
+    }
+    let ts = &mut sim.stats.threads[tid];
+    ts.squashed += squashed_frontend;
+    ts.runahead_cycles += sim.now - ep.entered_at;
+}
+
+/// Releases the resources of a squashed entry. `walkback` selects
+/// FLUSH-style rename recovery (restore prev mapping, free dst); the
+/// runahead exit path instead frees via episode tags + map reset.
+pub(super) fn cleanup_squashed(
+    sim: &mut SmtSimulator,
+    tid: ThreadId,
+    e: &RobEntry,
+    walkback: bool,
+) {
+    if e.state == EntryState::WaitIssue {
+        if let Some(kind) = e.iq {
+            sim.res.iqs.remove(kind, tid);
+        }
+    }
+    if e.dmiss {
+        sim.threads[tid].dmiss_inflight = sim.threads[tid].dmiss_inflight.saturating_sub(1);
+    }
+    if walkback {
+        if let (Some((class, dst)), Some(arch)) = (e.dst, e.dst_arch) {
+            let prev = e.prev.expect("renamed entry has prev mapping");
+            sim.threads[tid].rename.restore(arch, prev);
+            sim.res.rf(class).free(dst, tid);
+        }
+    } else if let Some((class, dst)) = e.dst {
+        sim.res.free_if_episode_owned(class, dst, tid);
+    }
+    if e.is_store() {
+        if let Some(addr) = e.rec.eff_addr {
+            sim.threads[tid].remove_store_addr(addr);
+        }
+    }
+    if sim.threads[tid].branch_gate == Some(e.seq) {
+        sim.threads[tid].branch_gate = None;
+    }
+    sim.res.rob_occupancy -= 1;
+    sim.stats.threads[tid].squashed += 1;
+}
+
+// ---- FLUSH policy squash ----
+
+/// Squashes all of `tid`'s instructions younger than `keep_seq`,
+/// restores the rename map by walk-back, rewinds the fetch oracle, and
+/// gates fetch until `resume_at` (the missing load's fill time).
+pub(super) fn flush_thread(sim: &mut SmtSimulator, tid: ThreadId, keep_seq: u64, resume_at: Cycle) {
+    while let Some(back) = sim.threads[tid].rob.back() {
+        if back.seq <= keep_seq {
+            break;
+        }
+        let e = sim.threads[tid].rob.pop_back().expect("back exists");
+        cleanup_squashed(sim, tid, &e, true);
+    }
+    let squashed_frontend = sim.threads[tid].frontend.len() as u64;
+    sim.threads[tid].frontend.clear();
+    sim.threads[tid].branch_gate = None;
+    sim.threads[tid].icache_wait = 0;
+    sim.stats.threads[tid].squashed += squashed_frontend;
+
+    let replay: Vec<ExecRecord> = sim.threads[tid].rob.iter().map(|e| e.rec).collect();
+    sim.threads[tid].oracle.rewind(replay.into_iter());
+    debug_assert_eq!(sim.threads[tid].oracle.next_seq(), keep_seq + 1);
+
+    sim.threads[tid].longlat_gate = sim.threads[tid].longlat_gate.max(resume_at);
+    sim.stats.threads[tid].flushes += 1;
+}

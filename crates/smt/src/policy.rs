@@ -228,11 +228,96 @@ mod tests {
     }
 
     #[test]
+    fn from_name_is_case_insensitive_and_knows_aliases() {
+        assert_eq!(PolicyKind::from_name("RaT"), Some(PolicyKind::Rat));
+        assert_eq!(PolicyKind::from_name("RUNAHEAD"), Some(PolicyKind::Rat));
+        assert_eq!(PolicyKind::from_name("Icount"), Some(PolicyKind::Icount));
+        assert_eq!(PolicyKind::from_name("RR"), Some(PolicyKind::RoundRobin));
+        assert_eq!(
+            PolicyKind::from_name("RoundRobin"),
+            Some(PolicyKind::RoundRobin)
+        );
+        assert_eq!(PolicyKind::from_name("HILL"), Some(PolicyKind::Hill));
+        assert_eq!(
+            PolicyKind::from_name("HillClimbing"),
+            Some(PolicyKind::Hill)
+        );
+        assert_eq!(PolicyKind::from_name(""), None);
+    }
+
+    #[test]
+    fn display_matches_name() {
+        for p in [PolicyKind::Icount, PolicyKind::Rat, PolicyKind::Dcra] {
+            assert_eq!(p.to_string(), p.name());
+        }
+    }
+
+    #[test]
     fn dcra_caps_proportional() {
         let caps = dcra_caps(100, &[1.0, 4.0]);
         assert_eq!(caps, vec![20, 80]);
         let caps = dcra_caps(64, &[1.0, 1.0, 1.0, 1.0]);
         assert_eq!(caps, vec![16, 16, 16, 16]);
+    }
+
+    #[test]
+    fn dcra_caps_sum_never_exceeds_total() {
+        // Entitlements are floored shares, so however the weights fall the
+        // caps can never overcommit the resource.
+        let weight_sets: &[&[f64]] = &[
+            &[1.0],
+            &[1.0, 4.0],
+            &[4.0, 4.0, 1.0],
+            &[0.3, 0.7, 1.9, 4.0],
+            &[1e-3, 4.0, 1.0, 1.0, 4.0, 0.5, 2.5, 3.3],
+        ];
+        for &weights in weight_sets {
+            for total in [4usize, 17, 64, 100, 320] {
+                let caps = dcra_caps(total, weights);
+                assert_eq!(caps.len(), weights.len());
+                assert!(
+                    caps.iter().sum::<usize>() <= total,
+                    "caps {caps:?} overcommit {total} for weights {weights:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dcra_slow_threads_outrank_fast_threads() {
+        // A slow (memory-intensive) thread's entitlement must be at least
+        // a fast thread's, for any slow-weight ≥ 1 and any resource size.
+        for slow_weight in [1.0, 2.0, 4.0, 8.0] {
+            for total in [16usize, 64, 256] {
+                let weights = [
+                    dcra_weight(true, true, slow_weight),
+                    dcra_weight(false, true, slow_weight),
+                    dcra_weight(true, true, slow_weight),
+                    dcra_weight(false, true, slow_weight),
+                ];
+                let caps = dcra_caps(total, &weights);
+                assert!(
+                    caps[0] >= caps[1] && caps[2] >= caps[3],
+                    "slow threads under-entitled: {caps:?} (w={slow_weight}, total={total})"
+                );
+                // Same-class threads are entitled identically.
+                assert_eq!(caps[0], caps[2]);
+                assert_eq!(caps[1], caps[3]);
+            }
+        }
+    }
+
+    #[test]
+    fn dcra_nonusers_get_nothing_when_others_use() {
+        // An integer-only thread claims no FP registers while an FP user
+        // is present (weight 0 ⇒ cap 0).
+        let weights = [
+            dcra_weight(false, false, 4.0),
+            dcra_weight(false, true, 4.0),
+        ];
+        let caps = dcra_caps(100, &weights);
+        assert_eq!(caps[0], 0);
+        assert_eq!(caps[1], 100);
     }
 
     #[test]

@@ -23,7 +23,10 @@ impl RenameTables {
     /// Creates tables with both maps pointing at the given initial
     /// physical registers (one per architectural register, allocated by
     /// the pipeline at reset).
-    pub fn new(init_int: [PhysReg; NUM_INT_ARCH_REGS], init_fp: [PhysReg; NUM_FP_ARCH_REGS]) -> Self {
+    pub fn new(
+        init_int: [PhysReg; NUM_INT_ARCH_REGS],
+        init_fp: [PhysReg; NUM_FP_ARCH_REGS],
+    ) -> Self {
         RenameTables {
             fmap_int: init_int,
             fmap_fp: init_fp,

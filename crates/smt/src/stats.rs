@@ -171,6 +171,10 @@ mod tests {
         s.threads[0].issued = 10;
         s.threads[0].folded = 2;
         s.threads[1].issued = 5;
-        assert_eq!(s.executed_insts(), 15, "folded instructions are not executed");
+        assert_eq!(
+            s.executed_insts(),
+            15,
+            "folded instructions are not executed"
+        );
     }
 }

@@ -1,16 +1,13 @@
 //! Turns a [`BenchmarkProfile`] into an executable synthetic program plus
 //! its initialized memory image.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
-
 use rat_isa::{
     AluOp, BranchCond, Cpu, FpOp, FpReg, Instruction as I, IntReg, Operand, Pc, Program,
     SparseMemory,
 };
 
 use crate::profile::{Benchmark, BenchmarkProfile, ThreadClass};
+use crate::rng::WorkloadRng;
 
 // ---- fixed register allocation for generated programs ----
 const R_STREAM_BASE: u8 = 1;
@@ -109,7 +106,7 @@ enum Token {
 
 struct Generator {
     prof: BenchmarkProfile,
-    rng: StdRng,
+    rng: WorkloadRng,
     code: Vec<I>,
     stream_pos: u32,
     int_rot: u8,
@@ -133,7 +130,7 @@ impl Generator {
         let chase_bytes = pow2_at_least((ws_bytes as f64 * prof.chase) as u64);
         Generator {
             prof,
-            rng: StdRng::seed_from_u64(seed ^ 0x5eed_0000),
+            rng: WorkloadRng::seed_from_u64(seed ^ 0x5eed_0000),
             code: Vec::with_capacity(BODY_TARGET + 64),
             stream_pos: 0,
             int_rot: 0,
@@ -154,7 +151,7 @@ impl Generator {
     }
 
     fn rand_rot_int(&mut self) -> IntReg {
-        IntReg::new(R_ROT_BASE + self.rng.gen_range(0..R_ROT_COUNT))
+        IntReg::new(R_ROT_BASE + self.rng.below(R_ROT_COUNT as u64) as u8)
     }
 
     fn next_fp_dst(&mut self) -> FpReg {
@@ -164,11 +161,11 @@ impl Generator {
     }
 
     fn rand_rot_fp(&mut self) -> FpReg {
-        FpReg::new(self.rng.gen_range(0..F_ROT_COUNT))
+        FpReg::new(self.rng.below(F_ROT_COUNT as u64) as u8)
     }
 
     fn emit_compute_int(&mut self) {
-        let w: f64 = self.rng.gen();
+        let w: f64 = self.rng.gen_f64();
         let op = match w {
             x if x < 0.45 => AluOp::Add,
             x if x < 0.60 => AluOp::Sub,
@@ -188,14 +185,14 @@ impl Generator {
         let src2 = if self.rng.gen_bool(0.5) {
             Operand::Reg(self.rand_rot_int())
         } else {
-            Operand::Imm(self.rng.gen_range(1..64))
+            Operand::Imm(1 + self.rng.below(63) as i64)
         };
         let dst = self.next_int_dst();
         self.code.push(I::int_op(op, dst, src1, src2));
     }
 
     fn emit_compute_fp(&mut self) {
-        let w: f64 = self.rng.gen();
+        let w: f64 = self.rng.gen_f64();
         let op = match w {
             x if x < 0.50 => FpOp::Add,
             x if x < 0.92 => FpOp::Mul,
@@ -306,15 +303,12 @@ impl Generator {
     /// address *is* the loaded value, so after one L2 miss the chain is
     /// unknown — runahead cannot prefetch it (the mcf pathology).
     fn emit_load_chase(&mut self) {
-        self.code.push(I::load(
-            IntReg::new(R_CHASE),
-            IntReg::new(R_CHASE),
-            0,
-        ));
+        self.code
+            .push(I::load(IntReg::new(R_CHASE), IntReg::new(R_CHASE), 0));
     }
 
     fn emit_store_stream(&mut self) {
-        let off = (self.rng.gen_range(0..8u32) * 8) as i32;
+        let off = (self.rng.below(8) as u32 * 8) as i32;
         if self.prof.fp_fraction > 0.0 && self.rng.gen_bool(self.prof.fp_fraction) {
             let src = self.rand_rot_fp();
             self.code.push(I::StoreFp {
@@ -339,7 +333,7 @@ impl Generator {
     /// most recently loaded value (becomes INV in runahead, modeling the
     /// "most likely path" divergence the paper describes).
     fn emit_noise_branch(&mut self) {
-        let taken_prob = self.rng.gen_range(0.55..0.90);
+        let taken_prob = self.rng.range_f64(0.55, 0.90);
         let threshold = (taken_prob * 256.0) as i64;
         let src = if self.rng.gen_bool(0.5) {
             IntReg::new(R_LCG)
@@ -380,7 +374,7 @@ impl Generator {
     fn emit_skip_branch(&mut self, cond: BranchCond, src1: IntReg, src2: IntReg) {
         let branch_idx = self.code.len();
         self.code.push(I::branch(cond, src1, src2, 0)); // patched below
-        let fillers = self.rng.gen_range(1..=3);
+        let fillers = 1 + self.rng.below(3);
         for _ in 0..fillers {
             self.emit_compute_int();
         }
@@ -423,16 +417,19 @@ impl Generator {
         let n_pred = n_branch - n_noise;
 
         let mut tokens = Vec::new();
-        tokens.extend(std::iter::repeat(Token::LoadStream).take(n_stream));
-        tokens.extend(std::iter::repeat(Token::LoadRandom).take(n_random));
-        tokens.extend(std::iter::repeat(Token::LoadChase).take(n_chase));
+        tokens.extend(std::iter::repeat_n(Token::LoadStream, n_stream));
+        tokens.extend(std::iter::repeat_n(Token::LoadRandom, n_random));
+        tokens.extend(std::iter::repeat_n(Token::LoadChase, n_chase));
         // Random stores need a valid R_RAND_ADDR; it is planted at init so
         // the first iteration is safe even if a store precedes any load.
         let n_store_random = (n_stores as f64 * prof.random) as usize;
-        tokens.extend(std::iter::repeat(Token::StoreRandom).take(n_store_random));
-        tokens.extend(std::iter::repeat(Token::StoreStream).take(n_stores - n_store_random));
-        tokens.extend(std::iter::repeat(Token::NoiseBranch).take(n_noise));
-        tokens.extend(std::iter::repeat(Token::PredBranch).take(n_pred));
+        tokens.extend(std::iter::repeat_n(Token::StoreRandom, n_store_random));
+        tokens.extend(std::iter::repeat_n(
+            Token::StoreStream,
+            n_stores - n_store_random,
+        ));
+        tokens.extend(std::iter::repeat_n(Token::NoiseBranch, n_noise));
+        tokens.extend(std::iter::repeat_n(Token::PredBranch, n_pred));
 
         // Estimate the instruction overhead of the event tokens, then pad
         // with compute so the dynamic mix approximates the profile.
@@ -444,10 +441,10 @@ impl Generator {
             + n_pred as f64 * 3.0;
         let n_compute = (BODY_TARGET as f64 - est_event_insts).max(0.0) as usize;
         let n_fp = (n_compute as f64 * prof.fp_fraction) as usize;
-        tokens.extend(std::iter::repeat(Token::ComputeFp).take(n_fp));
-        tokens.extend(std::iter::repeat(Token::ComputeInt).take(n_compute - n_fp));
+        tokens.extend(std::iter::repeat_n(Token::ComputeFp, n_fp));
+        tokens.extend(std::iter::repeat_n(Token::ComputeInt, n_compute - n_fp));
 
-        tokens.shuffle(&mut self.rng);
+        self.rng.shuffle(&mut tokens);
         for t in tokens {
             self.emit(t);
         }
@@ -496,11 +493,11 @@ impl Generator {
     /// line so every hop is a new line).
     fn build_memory(&mut self) -> SparseMemory {
         let mut mem = SparseMemory::new();
-        let fill = |mem: &mut SparseMemory, base: u64, bytes: u64, rng: &mut StdRng| {
+        let fill = |mem: &mut SparseMemory, base: u64, bytes: u64, rng: &mut WorkloadRng| {
             for w in 0..(bytes / 8) {
                 // Values double as FP data and as branch-noise sources.
                 let v: u64 = if w % 2 == 0 {
-                    rng.gen()
+                    rng.next_u64()
                 } else {
                     (1.0 + (w % 1024) as f64 / 1024.0_f64).to_bits()
                 };
@@ -515,12 +512,12 @@ impl Generator {
         let n = self.chase_nodes as usize;
         let mut perm: Vec<usize> = (0..n).collect();
         for i in (1..n).rev() {
-            let j = self.rng.gen_range(0..i);
+            let j = self.rng.below(i as u64) as usize;
             perm.swap(i, j);
         }
-        for i in 0..n {
+        for (i, &next_idx) in perm.iter().enumerate() {
             let node = CHASE_BASE + (i as u64) * LINE;
-            let next = CHASE_BASE + (perm[i] as u64) * LINE;
+            let next = CHASE_BASE + (next_idx as u64) * LINE;
             mem.write_u64(node, next);
         }
         mem
@@ -576,13 +573,15 @@ mod tests {
             match r.inst.kind() {
                 InstructionKind::Load | InstructionKind::Store => mem += 1,
                 InstructionKind::Branch => br += 1,
-                InstructionKind::FpAdd | InstructionKind::FpMul | InstructionKind::FpDiv => {
-                    fp += 1
-                }
+                InstructionKind::FpAdd | InstructionKind::FpMul | InstructionKind::FpDiv => fp += 1,
                 _ => {}
             }
         }
-        (mem as f64 / n as f64, br as f64 / n as f64, fp as f64 / n as f64)
+        (
+            mem as f64 / n as f64,
+            br as f64 / n as f64,
+            fp as f64 / n as f64,
+        )
     }
 
     #[test]
@@ -644,10 +643,7 @@ mod tests {
         }
         assert!(stream_lines.len() > 100);
         // Largely monotonic: each new line is the previous + 1 until wrap.
-        let increments = stream_lines
-            .windows(2)
-            .filter(|w| w[1] == w[0] + 1)
-            .count();
+        let increments = stream_lines.windows(2).filter(|w| w[1] == w[0] + 1).count();
         assert!(
             increments as f64 > stream_lines.len() as f64 * 0.8,
             "stream should advance line by line"
@@ -662,7 +658,7 @@ mod tests {
             let r = cpu.step();
             if let Some(addr) = r.eff_addr {
                 assert!(
-                    addr >= STREAM_BASE && addr < CHASE_BASE + (1 << 30),
+                    (STREAM_BASE..CHASE_BASE + (1 << 30)).contains(&addr),
                     "address {addr:#x} outside data regions"
                 );
             }

@@ -38,7 +38,9 @@
 mod generator;
 mod mixes;
 mod profile;
+mod rng;
 
 pub use generator::ThreadImage;
 pub use mixes::{mixes_for_group, Mix, WorkloadGroup, ALL_GROUPS};
 pub use profile::{Benchmark, BenchmarkProfile, ThreadClass, ALL_BENCHMARKS};
+pub use rng::WorkloadRng;

@@ -227,8 +227,7 @@ mod tests {
     fn mix_groups_contain_both_classes() {
         for g in [WorkloadGroup::Mix2, WorkloadGroup::Mix4] {
             for mix in mixes_for_group(g) {
-                let classes: HashSet<_> =
-                    mix.benchmarks.iter().map(|b| b.class()).collect();
+                let classes: HashSet<_> = mix.benchmarks.iter().map(|b| b.class()).collect();
                 assert_eq!(classes.len(), 2, "{mix} must mix ILP and MEM");
             }
         }

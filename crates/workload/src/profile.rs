@@ -147,10 +147,16 @@ impl BenchmarkProfile {
             assert!((0.0..=1.0).contains(&f), "fraction {f} out of range");
         }
         let s = self.stream + self.random + self.chase;
-        assert!((s - 1.0).abs() < 1e-9, "access shares must sum to 1, got {s}");
+        assert!(
+            (s - 1.0).abs() < 1e-9,
+            "access shares must sum to 1, got {s}"
+        );
         assert!(self.ws_kb >= 16, "working set must be at least 16 KiB");
         assert!(self.hot_kb >= 16, "hot set must be at least 16 KiB");
-        assert!(self.mem_fraction + self.branch_fraction < 0.9, "need room for compute");
+        assert!(
+            self.mem_fraction + self.branch_fraction < 0.9,
+            "need room for compute"
+        );
     }
 }
 
@@ -193,34 +199,82 @@ impl Benchmark {
             // ---- memory-bound (MEM) ----
             // mcf: dominated by pointer chasing over a multi-MB structure;
             // some locality survives (the chase region partially L2-caches).
-            B::Mcf => p(Mem, 4096, 2048, 0.35, 0.10, 0.0, 0.20, 0.25, 0.05, 0.45, 0.50, 0.50),
-            B::Art => p(Mem, 8192, 4096, 0.30, 0.05, 0.60, 0.10, 0.05, 0.85, 0.15, 0.0, 0.30),
-            B::Swim => p(Mem, 8192, 4096, 0.32, 0.15, 0.70, 0.06, 0.02, 0.90, 0.10, 0.0, 0.30),
-            B::Lucas => p(Mem, 4096, 2048, 0.28, 0.10, 0.75, 0.05, 0.02, 0.80, 0.20, 0.0, 0.40),
-            B::Applu => p(Mem, 4096, 2048, 0.30, 0.15, 0.70, 0.08, 0.05, 0.75, 0.25, 0.0, 0.40),
-            B::Equake => p(Mem, 4096, 2048, 0.33, 0.10, 0.55, 0.12, 0.10, 0.50, 0.35, 0.15, 0.45),
-            B::Parser => p(Mem, 2048, 1024, 0.30, 0.12, 0.0, 0.22, 0.20, 0.10, 0.55, 0.35, 0.50),
-            B::Twolf => p(Mem, 2048, 2048, 0.32, 0.10, 0.0, 0.20, 0.22, 0.05, 0.80, 0.15, 0.50),
-            B::Vpr => p(Mem, 2048, 2048, 0.30, 0.10, 0.10, 0.18, 0.20, 0.10, 0.75, 0.15, 0.50),
-            B::Ammp => p(Mem, 4096, 2048, 0.30, 0.10, 0.60, 0.10, 0.10, 0.40, 0.40, 0.20, 0.45),
+            B::Mcf => p(
+                Mem, 4096, 2048, 0.35, 0.10, 0.0, 0.20, 0.25, 0.05, 0.45, 0.50, 0.50,
+            ),
+            B::Art => p(
+                Mem, 8192, 4096, 0.30, 0.05, 0.60, 0.10, 0.05, 0.85, 0.15, 0.0, 0.30,
+            ),
+            B::Swim => p(
+                Mem, 8192, 4096, 0.32, 0.15, 0.70, 0.06, 0.02, 0.90, 0.10, 0.0, 0.30,
+            ),
+            B::Lucas => p(
+                Mem, 4096, 2048, 0.28, 0.10, 0.75, 0.05, 0.02, 0.80, 0.20, 0.0, 0.40,
+            ),
+            B::Applu => p(
+                Mem, 4096, 2048, 0.30, 0.15, 0.70, 0.08, 0.05, 0.75, 0.25, 0.0, 0.40,
+            ),
+            B::Equake => p(
+                Mem, 4096, 2048, 0.33, 0.10, 0.55, 0.12, 0.10, 0.50, 0.35, 0.15, 0.45,
+            ),
+            B::Parser => p(
+                Mem, 2048, 1024, 0.30, 0.12, 0.0, 0.22, 0.20, 0.10, 0.55, 0.35, 0.50,
+            ),
+            B::Twolf => p(
+                Mem, 2048, 2048, 0.32, 0.10, 0.0, 0.20, 0.22, 0.05, 0.80, 0.15, 0.50,
+            ),
+            B::Vpr => p(
+                Mem, 2048, 2048, 0.30, 0.10, 0.10, 0.18, 0.20, 0.10, 0.75, 0.15, 0.50,
+            ),
+            B::Ammp => p(
+                Mem, 4096, 2048, 0.30, 0.10, 0.60, 0.10, 0.10, 0.40, 0.40, 0.20, 0.45,
+            ),
             // ---- high-ILP (ILP) ----
             // Cache-resident: stream regions of 16-32 KiB (one pass is a
             // few thousand instructions, so steady state is reached fast)
             // and hot sets that fit the 64 KiB D-cache.
-            B::Apsi => p(Ilp, 16, 16, 0.22, 0.10, 0.60, 0.08, 0.03, 0.70, 0.30, 0.0, 0.25),
-            B::Eon => p(Ilp, 16, 16, 0.20, 0.10, 0.30, 0.12, 0.05, 0.60, 0.40, 0.0, 0.30),
-            B::Gcc => p(Ilp, 16, 16, 0.25, 0.12, 0.0, 0.20, 0.10, 0.50, 0.50, 0.0, 0.35),
-            B::Fma3d => p(Ilp, 16, 16, 0.22, 0.10, 0.60, 0.08, 0.04, 0.70, 0.30, 0.0, 0.30),
-            B::Mesa => p(Ilp, 16, 16, 0.20, 0.10, 0.50, 0.10, 0.05, 0.60, 0.40, 0.0, 0.30),
-            B::Mgrid => p(Ilp, 16, 16, 0.28, 0.12, 0.70, 0.04, 0.02, 0.90, 0.10, 0.0, 0.25),
-            B::Galgel => p(Ilp, 16, 16, 0.24, 0.10, 0.70, 0.05, 0.03, 0.80, 0.20, 0.0, 0.25),
-            B::Gzip => p(Ilp, 16, 16, 0.22, 0.12, 0.0, 0.15, 0.08, 0.60, 0.40, 0.0, 0.40),
-            B::Bzip2 => p(Ilp, 16, 16, 0.24, 0.12, 0.0, 0.15, 0.08, 0.60, 0.40, 0.0, 0.40),
-            B::Vortex => p(Ilp, 16, 16, 0.26, 0.14, 0.0, 0.16, 0.07, 0.55, 0.45, 0.0, 0.35),
-            B::Crafty => p(Ilp, 16, 16, 0.20, 0.10, 0.0, 0.18, 0.08, 0.50, 0.50, 0.0, 0.35),
-            B::Gap => p(Ilp, 16, 16, 0.22, 0.10, 0.0, 0.14, 0.06, 0.60, 0.40, 0.0, 0.35),
-            B::Perl => p(Ilp, 16, 16, 0.20, 0.10, 0.0, 0.18, 0.07, 0.55, 0.45, 0.0, 0.35),
-            B::Wupwise => p(Ilp, 16, 16, 0.24, 0.10, 0.60, 0.05, 0.02, 0.80, 0.20, 0.0, 0.25),
+            B::Apsi => p(
+                Ilp, 16, 16, 0.22, 0.10, 0.60, 0.08, 0.03, 0.70, 0.30, 0.0, 0.25,
+            ),
+            B::Eon => p(
+                Ilp, 16, 16, 0.20, 0.10, 0.30, 0.12, 0.05, 0.60, 0.40, 0.0, 0.30,
+            ),
+            B::Gcc => p(
+                Ilp, 16, 16, 0.25, 0.12, 0.0, 0.20, 0.10, 0.50, 0.50, 0.0, 0.35,
+            ),
+            B::Fma3d => p(
+                Ilp, 16, 16, 0.22, 0.10, 0.60, 0.08, 0.04, 0.70, 0.30, 0.0, 0.30,
+            ),
+            B::Mesa => p(
+                Ilp, 16, 16, 0.20, 0.10, 0.50, 0.10, 0.05, 0.60, 0.40, 0.0, 0.30,
+            ),
+            B::Mgrid => p(
+                Ilp, 16, 16, 0.28, 0.12, 0.70, 0.04, 0.02, 0.90, 0.10, 0.0, 0.25,
+            ),
+            B::Galgel => p(
+                Ilp, 16, 16, 0.24, 0.10, 0.70, 0.05, 0.03, 0.80, 0.20, 0.0, 0.25,
+            ),
+            B::Gzip => p(
+                Ilp, 16, 16, 0.22, 0.12, 0.0, 0.15, 0.08, 0.60, 0.40, 0.0, 0.40,
+            ),
+            B::Bzip2 => p(
+                Ilp, 16, 16, 0.24, 0.12, 0.0, 0.15, 0.08, 0.60, 0.40, 0.0, 0.40,
+            ),
+            B::Vortex => p(
+                Ilp, 16, 16, 0.26, 0.14, 0.0, 0.16, 0.07, 0.55, 0.45, 0.0, 0.35,
+            ),
+            B::Crafty => p(
+                Ilp, 16, 16, 0.20, 0.10, 0.0, 0.18, 0.08, 0.50, 0.50, 0.0, 0.35,
+            ),
+            B::Gap => p(
+                Ilp, 16, 16, 0.22, 0.10, 0.0, 0.14, 0.06, 0.60, 0.40, 0.0, 0.35,
+            ),
+            B::Perl => p(
+                Ilp, 16, 16, 0.20, 0.10, 0.0, 0.18, 0.07, 0.55, 0.45, 0.0, 0.35,
+            ),
+            B::Wupwise => p(
+                Ilp, 16, 16, 0.24, 0.10, 0.60, 0.05, 0.02, 0.80, 0.20, 0.0, 0.25,
+            ),
         };
         prof.validate();
         prof
@@ -265,10 +319,36 @@ mod tests {
     #[test]
     fn table2_class_expectations() {
         use Benchmark as B;
-        for b in [B::Mcf, B::Art, B::Swim, B::Twolf, B::Vpr, B::Equake, B::Parser, B::Lucas, B::Applu, B::Ammp] {
+        for b in [
+            B::Mcf,
+            B::Art,
+            B::Swim,
+            B::Twolf,
+            B::Vpr,
+            B::Equake,
+            B::Parser,
+            B::Lucas,
+            B::Applu,
+            B::Ammp,
+        ] {
             assert_eq!(b.class(), ThreadClass::Mem, "{b}");
         }
-        for b in [B::Apsi, B::Eon, B::Gcc, B::Gzip, B::Bzip2, B::Vortex, B::Crafty, B::Fma3d, B::Mesa, B::Mgrid, B::Galgel, B::Gap, B::Perl, B::Wupwise] {
+        for b in [
+            B::Apsi,
+            B::Eon,
+            B::Gcc,
+            B::Gzip,
+            B::Bzip2,
+            B::Vortex,
+            B::Crafty,
+            B::Fma3d,
+            B::Mesa,
+            B::Mgrid,
+            B::Galgel,
+            B::Gap,
+            B::Perl,
+            B::Wupwise,
+        ] {
             assert_eq!(b.class(), ThreadClass::Ilp, "{b}");
         }
     }

@@ -1,0 +1,108 @@
+//! A small deterministic PRNG for workload generation.
+//!
+//! The container builds offline, so instead of an external `rand`
+//! dependency the generator uses this splitmix64 stream. Workload images
+//! are part of the experiment definition: the same `(benchmark, seed)`
+//! pair must produce the identical program on every host and toolchain,
+//! which a fully specified in-repo generator guarantees.
+
+/// Deterministic splitmix64 generator.
+#[derive(Clone, Debug)]
+pub struct WorkloadRng(u64);
+
+impl WorkloadRng {
+    /// Seeds the stream (mirrors `SeedableRng::seed_from_u64`).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        WorkloadRng(seed)
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)` (53 mantissa bits).
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// Uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty range");
+        // Modulo bias is negligible for the small bounds used here
+        // (≤ 2^20 ≪ 2^64) and keeps the stream position deterministic.
+        self.next_u64() % bound
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.gen_f64() * (hi - lo)
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_stream() {
+        let mut a = WorkloadRng::seed_from_u64(42);
+        let mut b = WorkloadRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = WorkloadRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = r.gen_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = WorkloadRng::seed_from_u64(2);
+        let mut seen = [false; 8];
+        for _ in 0..256 {
+            let v = r.below(8) as usize;
+            assert!(v < 8);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues reachable");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = WorkloadRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..32).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..32).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle should move something");
+    }
+}

@@ -15,7 +15,7 @@ fn main() {
         warmup_insts: 20_000,
         ..RunConfig::default()
     };
-    let mut runner = Runner::new(SmtConfig::hpca2008_baseline(), run);
+    let runner = Runner::new(SmtConfig::hpca2008_baseline(), run);
     let mix = &mixes_for_group(WorkloadGroup::Mix2)[1]; // art + gzip
 
     println!("policy comparison on {mix}\n");

@@ -20,7 +20,7 @@ fn main() {
         warmup_insts: 20_000,
         ..RunConfig::default()
     };
-    let mut runner = Runner::new(cfg, run);
+    let runner = Runner::new(cfg, run);
 
     // art + mcf: the second MEM2 mix of Table 2.
     let mix = &mixes_for_group(WorkloadGroup::Mem2)[1];

@@ -24,7 +24,7 @@ fn main() {
                 warmup_insts: 15_000,
                 ..RunConfig::default()
             };
-            let mut runner = Runner::new(cfg, run);
+            let runner = Runner::new(cfg, run);
             let r = runner.run_mix(mix, policy);
             println!("{:<8} {:>8} {:>12.3}", policy.name(), regs, r.throughput());
         }

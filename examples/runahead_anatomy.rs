@@ -24,14 +24,23 @@ fn main() {
 
     let ts = sim.thread_stats(0);
     let cycles = sim.stats().cycles_since_reset();
-    println!("runahead anatomy of `{bench}` ({} cycles measured)\n", cycles);
+    println!(
+        "runahead anatomy of `{bench}` ({} cycles measured)\n",
+        cycles
+    );
     println!("architectural:");
     println!("  committed             {:>10}", ts.committed_since_reset());
-    println!("  IPC                   {:>10.3}", sim.stats().thread_ipc(0));
+    println!(
+        "  IPC                   {:>10.3}",
+        sim.stats().thread_ipc(0)
+    );
     println!("speculation:");
     println!("  runahead episodes     {:>10}", ts.runahead_episodes);
-    println!("  runahead cycles       {:>10} ({:.0}%)", ts.runahead_cycles,
-        100.0 * ts.runahead_cycles as f64 / cycles.max(1) as f64);
+    println!(
+        "  runahead cycles       {:>10} ({:.0}%)",
+        ts.runahead_cycles,
+        100.0 * ts.runahead_cycles as f64 / cycles.max(1) as f64
+    );
     println!("  pseudo-retired        {:>10}", ts.pseudo_retired);
     println!("  folded (INV at rename){:>10}", ts.folded);
     println!("  INV'd L2-miss loads   {:>10}", ts.runahead_inv_loads);
@@ -50,7 +59,10 @@ fn main() {
     let l2 = sim.hierarchy().l2_stats();
     println!("  D$ miss ratio         {:>10.3}", d.miss_ratio());
     println!("  L2 miss ratio         {:>10.3}", l2.miss_ratio());
-    println!("  memory accesses       {:>10}", sim.hierarchy().memory_accesses());
+    println!(
+        "  memory accesses       {:>10}",
+        sim.hierarchy().memory_accesses()
+    );
     println!("\nTry `mcf` (pointer chasing folds the chain: few prefetches) vs");
     println!("`swim`/`art` (streaming: deep, useful prefetching).");
 }

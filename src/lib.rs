@@ -1,0 +1,8 @@
+//! Umbrella crate for the Runahead Threads (HPCA 2008) reproduction.
+//!
+//! Re-exports [`rat_core`], which itself re-exports every layer of the
+//! stack. The repository-level integration tests (`tests/`) and runnable
+//! walkthroughs (`examples/`) are attached to this package; the library
+//! crates live under `crates/`.
+
+pub use rat_core;

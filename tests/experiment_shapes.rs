@@ -3,9 +3,9 @@
 //! the figure harnesses do. These assert the *qualitative* results the
 //! reproduction must preserve (who wins, directions of effects).
 
-use rat_core::{RunConfig, Runner};
 use rat_core::smt::{PolicyKind, SmtConfig};
 use rat_core::workload::{mixes_for_group, WorkloadGroup};
+use rat_core::{RunConfig, Runner};
 
 fn quick_run() -> RunConfig {
     RunConfig {
@@ -17,14 +17,14 @@ fn quick_run() -> RunConfig {
 }
 
 fn group_throughput(group: WorkloadGroup, policy: PolicyKind, n_mixes: usize) -> f64 {
-    let mut runner = Runner::new(SmtConfig::hpca2008_baseline(), quick_run());
+    let runner = Runner::new(SmtConfig::hpca2008_baseline(), quick_run());
     let mut mixes = mixes_for_group(group);
     mixes.truncate(n_mixes);
     runner.run_group(&mixes, policy).throughput
 }
 
 fn group_fairness(group: WorkloadGroup, policy: PolicyKind, n_mixes: usize) -> f64 {
-    let mut runner = Runner::new(SmtConfig::hpca2008_baseline(), quick_run());
+    let runner = Runner::new(SmtConfig::hpca2008_baseline(), quick_run());
     let mut mixes = mixes_for_group(group);
     mixes.truncate(n_mixes);
     runner.run_group(&mixes, policy).fairness
@@ -79,7 +79,7 @@ fn fig2_shape_rat_beats_dynamic_policies_on_mem2() {
 fn fig3_shape_rat_ed2_below_icount() {
     // RaT executes extra instructions but more than compensates in delay:
     // normalized ED² < 1 on memory-sensitive groups.
-    let mut runner = Runner::new(SmtConfig::hpca2008_baseline(), quick_run());
+    let runner = Runner::new(SmtConfig::hpca2008_baseline(), quick_run());
     let mut mixes = mixes_for_group(WorkloadGroup::Mem2);
     mixes.truncate(2);
     let base = runner.run_group(&mixes, PolicyKind::Icount).ed2;
@@ -99,7 +99,7 @@ fn fig6_shape_rat_tolerates_small_register_files() {
         let mut cfg = SmtConfig::hpca2008_baseline();
         cfg.int_regs = regs;
         cfg.fp_regs = regs;
-        let mut runner = Runner::new(cfg, quick_run());
+        let runner = Runner::new(cfg, quick_run());
         let mut mixes = mixes_for_group(WorkloadGroup::Mem2);
         mixes.truncate(2);
         runner.run_group(&mixes, policy).throughput
@@ -121,7 +121,7 @@ fn fig6_shape_rat_tolerates_small_register_files() {
 #[test]
 fn fairness_references_are_consistent() {
     use rat_core::workload::Benchmark;
-    let mut runner = Runner::new(SmtConfig::hpca2008_baseline(), quick_run());
+    let runner = Runner::new(SmtConfig::hpca2008_baseline(), quick_run());
     let st_eon = runner.single_thread_ipc(Benchmark::Eon);
     let st_mcf = runner.single_thread_ipc(Benchmark::Mcf);
     assert!(st_eon > 1.5, "eon ST {st_eon:.3}");

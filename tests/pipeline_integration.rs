@@ -42,7 +42,10 @@ fn every_policy_simulates_a_mixed_pair() {
         let done = sim.run_until_quota(2_000, 30_000_000);
         assert!(done, "{policy} stalled");
         for t in 0..2 {
-            assert!(sim.thread_stats(t).committed >= 2_000, "{policy} thread {t}");
+            assert!(
+                sim.thread_stats(t).committed >= 2_000,
+                "{policy} thread {t}"
+            );
         }
     }
 }
@@ -108,7 +111,11 @@ fn cache_stats_observe_mem_thread_traffic() {
     assert!(l2.accesses > 100, "swim must pressure the L2");
     assert!(sim.hierarchy().memory_accesses() > 50);
     let d = sim.hierarchy().dcache_stats();
-    assert!(d.miss_ratio() > 0.05, "swim D$ miss ratio {:.3}", d.miss_ratio());
+    assert!(
+        d.miss_ratio() > 0.05,
+        "swim D$ miss ratio {:.3}",
+        d.miss_ratio()
+    );
 }
 
 #[test]

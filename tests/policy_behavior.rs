@@ -53,7 +53,11 @@ fn stall_hurts_the_gated_mem_thread() {
 fn flush_actually_flushes_and_releases_resources() {
     let sim = run_pair(PolicyKind::Flush, Benchmark::Art, Benchmark::Gzip, 4_000);
     let ts = sim.thread_stats(0);
-    assert!(ts.flushes > 10, "art must be flushed repeatedly ({})", ts.flushes);
+    assert!(
+        ts.flushes > 10,
+        "art must be flushed repeatedly ({})",
+        ts.flushes
+    );
     assert!(ts.squashed > ts.flushes, "flushes must squash instructions");
     // The flushed thread re-fetches and re-executes: issued > committed
     // (both counters measured over the same post-reset window).

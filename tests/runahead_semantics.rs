@@ -63,7 +63,10 @@ fn pseudo_retired_work_is_not_committed() {
     // Total architectural commits stay exactly at/above quota regardless
     // of how much speculative work was done.
     assert!(ts.committed >= 8_000);
-    assert!(ts.folded + ts.pseudo_retired > 100, "speculative work happened");
+    assert!(
+        ts.folded + ts.pseudo_retired > 100,
+        "speculative work happened"
+    );
 }
 
 #[test]
@@ -104,7 +107,7 @@ fn noprefetch_variant_suppresses_prefetching() {
             cfg.runahead.variant = variant;
         });
         sim.run_until_quota(6_000, 60_000_000);
-        let ts = sim.thread_stats(0).clone();
+        let ts = *sim.thread_stats(0);
         (sim.stats().thread_ipc(0), ts)
     };
     let (full_ipc, full_ts) = run(RunaheadVariant::Full);
