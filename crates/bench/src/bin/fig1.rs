@@ -39,8 +39,13 @@ fn main() {
         thr.row(trow);
         fair.row(frow);
     }
-    println!("Figure 1(a). Throughput (avg IPC, Eq. 1) per I-fetch policy\n");
-    print!("{}", thr.render());
-    println!("\nFigure 1(b). Fairness (hmean of speedups, Eq. 2) per I-fetch policy\n");
-    print!("{}", fair.render());
+    thr.emit(
+        "Figure 1(a). Throughput (avg IPC, Eq. 1) per I-fetch policy",
+        args.csv,
+    );
+    println!();
+    fair.emit(
+        "Figure 1(b). Fairness (hmean of speedups, Eq. 2) per I-fetch policy",
+        args.csv,
+    );
 }

@@ -39,8 +39,13 @@ fn main() {
         thr.row(trow);
         fair.row(frow);
     }
-    println!("Figure 2(a). Throughput (avg IPC) per resource control policy\n");
-    print!("{}", thr.render());
-    println!("\nFigure 2(b). Fairness per resource control policy\n");
-    print!("{}", fair.render());
+    thr.emit(
+        "Figure 2(a). Throughput (avg IPC) per resource control policy",
+        args.csv,
+    );
+    println!();
+    fair.emit(
+        "Figure 2(b). Fairness per resource control policy",
+        args.csv,
+    );
 }

@@ -39,6 +39,8 @@ fn main() {
         }
         t.row(row);
     }
-    println!("Figure 3. ED² normalized to ICOUNT (lower is better)\n");
-    print!("{}", t.render());
+    t.emit(
+        "Figure 3. ED² normalized to ICOUNT (lower is better)",
+        args.csv,
+    );
 }

@@ -134,9 +134,10 @@ fn main() {
             ovh,
         ]);
     }
-    println!("Figure 4. Sources of improvement of RaT\n");
-    print!("{}", t.render());
-    println!("\n(prefetching: RaT vs RaT-no-prefetch; resource availability: RaT-no-fetch vs");
-    println!(" ICOUNT; overhead: ILP co-runners under RaT-no-prefetch vs ICOUNT — negative");
-    println!(" means the useless-runahead worst case costs the other threads that much.)");
+    t.emit("Figure 4. Sources of improvement of RaT", args.csv);
+    if !args.csv {
+        println!("\n(prefetching: RaT vs RaT-no-prefetch; resource availability: RaT-no-fetch vs");
+        println!(" ICOUNT; overhead: ILP co-runners under RaT-no-prefetch vs ICOUNT — negative");
+        println!(" means the useless-runahead worst case costs the other threads that much.)");
+    }
 }

@@ -70,7 +70,9 @@ fn main() {
             },
         ]);
     }
-    println!("Figure 5. Avg physical registers (INT+FP) used per cycle per thread,");
-    println!("normal vs runahead mode (RaT policy)\n");
-    print!("{}", t.render());
+    t.emit(
+        "Figure 5. Avg physical registers (INT+FP) used per cycle per thread, \
+         normal vs runahead mode (RaT policy)",
+        args.csv,
+    );
 }

@@ -1,5 +1,6 @@
-//! Figure 6 — throughput vs. physical register file size for FLUSH and
-//! RaT, on 2-thread (a) and 4-thread (b) workload groups.
+//! Figure 6 — throughput (and, riding along, Eq. 2 fairness) vs.
+//! physical register file size for FLUSH and RaT, on 2-thread (a) and
+//! 4-thread (b) workload groups.
 //!
 //! Deviation from the paper: our renamer pins 32 INT + 32 FP registers per
 //! thread for architectural state and needs headroom to dispatch at all,
@@ -7,32 +8,55 @@
 //! (the paper's x-axis nominally starts at 64, while itself noting that 4
 //! threads already need 128 registers for precise state).
 //!
-//! Every (group × policy × register size) cell builds its own hardware
-//! configuration, so cells run in parallel over all cores.
+//! One `Runner` is built *per register-file size* and shared by every
+//! (group, policy) cell of that size — including across the 2-thread and
+//! 4-thread sweeps — so the single-thread reference IPCs behind Eq. 2
+//! fairness are simulated once per (benchmark, size) instead of once per
+//! cell. Cells still run in parallel over all cores.
 
 use rat_bench::{select_mixes, HarnessArgs, TableWriter};
-use rat_core::{parallel, RunConfig, Runner};
+use rat_core::{parallel, GroupSummary, RunConfig, Runner};
 use rat_smt::{PolicyKind, SmtConfig};
 use rat_workload::{Mix, WorkloadGroup};
 
 const SIZES_2T: [usize; 5] = [96, 128, 192, 256, 320];
 const SIZES_4T: [usize; 4] = [160, 192, 256, 320];
 
-fn sweep(groups: &[WorkloadGroup], sizes: &[usize], args: &HarnessArgs) -> TableWriter {
+/// The runner for one register-file size: Table 1 hardware with both
+/// register files resized.
+fn runner_for_size(size: usize, run: RunConfig) -> Runner {
+    let mut cfg = SmtConfig::hpca2008_baseline();
+    cfg.int_regs = size;
+    cfg.fp_regs = size;
+    Runner::new(cfg, run)
+}
+
+/// Runner lookup by size from the shared per-size pool.
+fn runner_of(runners: &[(usize, Runner)], size: usize) -> &Runner {
+    &runners
+        .iter()
+        .find(|(s, _)| *s == size)
+        .expect("runner pool covers every swept size")
+        .1
+}
+
+fn sweep(
+    groups: &[WorkloadGroup],
+    sizes: &[usize],
+    runners: &[(usize, Runner)],
+    args: &HarnessArgs,
+) -> (TableWriter, TableWriter) {
     let mut header: Vec<String> = vec!["policy/group".into()];
     header.extend(sizes.iter().map(|s| format!("{s}r")));
     let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
-    let mut t = TableWriter::new(&header_refs);
+    let mut thr = TableWriter::new(&header_refs);
+    let mut fair = TableWriter::new(&header_refs);
 
-    let run = RunConfig {
-        insts_per_thread: args.insts,
-        warmup_insts: args.warmup,
-        seed: args.seed,
-        ..RunConfig::default()
-    };
     let policies = [PolicyKind::Flush, PolicyKind::Rat];
 
-    // One task per (group, policy, register size) cell.
+    // One task per (group, policy, register size) cell; each cell borrows
+    // the shared per-size runner, so concurrent cells of the same size
+    // hit one ST-reference cache.
     let mixes_of: Vec<Vec<Mix>> = groups
         .iter()
         .map(|&g| select_mixes(g, args.mixes))
@@ -44,46 +68,95 @@ fn sweep(groups: &[WorkloadGroup], sizes: &[usize], args: &HarnessArgs) -> Table
                 .flat_map(move |&p| sizes.iter().map(move |&size| (gi, p, size)))
         })
         .collect();
-    let throughputs = parallel::par_map(args.threads, &tasks, |_, &(gi, policy, size)| {
-        let mut cfg = SmtConfig::hpca2008_baseline();
-        cfg.int_regs = size;
-        cfg.fp_regs = size;
-        let runner = Runner::new(cfg, run);
-        runner.run_group(&mixes_of[gi], policy).throughput
-    });
+    let summaries: Vec<GroupSummary> =
+        parallel::par_map(args.threads, &tasks, |_, &(gi, policy, size)| {
+            runner_of(runners, size).run_group(&mixes_of[gi], policy)
+        });
 
     // tasks iterate sizes innermost, so each row is a consecutive chunk.
-    for (chunk_idx, chunk) in throughputs.chunks(sizes.len()).enumerate() {
+    for (chunk_idx, chunk) in summaries.chunks(sizes.len()).enumerate() {
         let (gi, policy, _) = tasks[chunk_idx * sizes.len()];
-        let mut row = vec![format!("{} {}", policy.name(), groups[gi].name())];
-        row.extend(chunk.iter().map(|thr| format!("{thr:.3}")));
-        t.row(row);
+        let label = format!("{} {}", policy.name(), groups[gi].name());
+        let mut trow = vec![label.clone()];
+        let mut frow = vec![label];
+        trow.extend(chunk.iter().map(|s| format!("{:.3}", s.throughput)));
+        frow.extend(chunk.iter().map(|s| format!("{:.3}", s.fairness)));
+        thr.row(trow);
+        fair.row(frow);
     }
-    t
+    (thr, fair)
 }
 
 fn main() {
     let args = HarnessArgs::from_env();
-    println!("Figure 6(a). Throughput vs register file size, 2-thread workloads\n");
-    let t2 = sweep(
-        &[
-            WorkloadGroup::Ilp2,
-            WorkloadGroup::Mix2,
-            WorkloadGroup::Mem2,
-        ],
-        &SIZES_2T,
-        &args,
+    let run = RunConfig {
+        insts_per_thread: args.insts,
+        warmup_insts: args.warmup,
+        seed: args.seed,
+        ..RunConfig::default()
+    };
+
+    // One shared runner per distinct size across both sweeps.
+    let mut all_sizes: Vec<usize> = SIZES_2T.iter().chain(SIZES_4T.iter()).copied().collect();
+    all_sizes.sort_unstable();
+    all_sizes.dedup();
+    let runners: Vec<(usize, Runner)> = all_sizes
+        .iter()
+        .map(|&s| (s, runner_for_size(s, run)))
+        .collect();
+
+    let groups_2t = [
+        WorkloadGroup::Ilp2,
+        WorkloadGroup::Mix2,
+        WorkloadGroup::Mem2,
+    ];
+    let groups_4t = [
+        WorkloadGroup::Ilp4,
+        WorkloadGroup::Mix4,
+        WorkloadGroup::Mem4,
+    ];
+
+    // Prewarm every (benchmark, size) ST reference once, in parallel, so
+    // the sweep cells only read the shared caches. Each size only needs
+    // the benchmarks of the sweeps that actually visit it (96/128 are
+    // 2-thread-only, 160 is 4-thread-only, the rest are shared).
+    let benches_of = |groups: &[WorkloadGroup]| -> Vec<_> {
+        groups
+            .iter()
+            .flat_map(|&g| select_mixes(g, args.mixes))
+            .flat_map(|m| m.benchmarks)
+            .collect()
+    };
+    let benches_2t: Vec<_> = benches_of(&groups_2t);
+    let benches_4t: Vec<_> = benches_of(&groups_4t);
+    for (size, runner) in &runners {
+        if SIZES_2T.contains(size) {
+            runner.prewarm_st_references(benches_2t.iter().copied(), args.threads);
+        }
+        if SIZES_4T.contains(size) {
+            runner.prewarm_st_references(benches_4t.iter().copied(), args.threads);
+        }
+    }
+
+    let (t2, f2) = sweep(&groups_2t, &SIZES_2T, &runners, &args);
+    t2.emit(
+        "Figure 6(a). Throughput vs register file size, 2-thread workloads",
+        args.csv,
     );
-    print!("{}", t2.render());
-    println!("\nFigure 6(b). Throughput vs register file size, 4-thread workloads\n");
-    let t4 = sweep(
-        &[
-            WorkloadGroup::Ilp4,
-            WorkloadGroup::Mix4,
-            WorkloadGroup::Mem4,
-        ],
-        &SIZES_4T,
-        &args,
+    println!();
+    f2.emit(
+        "Figure 6(a'). Fairness vs register file size, 2-thread workloads",
+        args.csv,
     );
-    print!("{}", t4.render());
+    println!();
+    let (t4, f4) = sweep(&groups_4t, &SIZES_4T, &runners, &args);
+    t4.emit(
+        "Figure 6(b). Throughput vs register file size, 4-thread workloads",
+        args.csv,
+    );
+    println!();
+    f4.emit(
+        "Figure 6(b'). Fairness vs register file size, 4-thread workloads",
+        args.csv,
+    );
 }

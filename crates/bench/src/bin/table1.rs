@@ -1,9 +1,10 @@
 //! Table 1 — the simulated SMT processor baseline configuration.
 
-use rat_bench::TableWriter;
+use rat_bench::{HarnessArgs, TableWriter};
 use rat_smt::SmtConfig;
 
 fn main() {
+    let args = HarnessArgs::from_env();
     let c = SmtConfig::hpca2008_baseline();
     let h = &c.hierarchy;
     let mut t = TableWriter::new(&["parameter", "value"]);
@@ -72,6 +73,10 @@ fn main() {
         "Main memory latency",
         format!("{} cycles", h.memory_latency),
     );
-    println!("Table 1. SMT processor baseline configuration\n");
-    print!("{}", t.render());
+    row("L2 lookup ports", format!("{} / cycle", h.l2_ports));
+    row(
+        "Memory bus bandwidth",
+        format!("1 line / {} cycle(s), FIFO", h.bus_cycles_per_line),
+    );
+    t.emit("Table 1. SMT processor baseline configuration", args.csv);
 }

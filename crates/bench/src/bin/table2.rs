@@ -1,10 +1,10 @@
 //! Table 2 — the SMT simulation workload classification.
 
-use rat_bench::TableWriter;
+use rat_bench::{HarnessArgs, TableWriter};
 use rat_workload::{mixes_for_group, ALL_GROUPS};
 
 fn main() {
-    println!("Table 2. SMT simulation workload classification\n");
+    let args = HarnessArgs::from_env();
     let mut t = TableWriter::new(&["group", "threads", "mixes"]);
     for &g in ALL_GROUPS {
         let mixes = mixes_for_group(g);
@@ -14,12 +14,24 @@ fn main() {
             mixes.len().to_string(),
         ]);
     }
-    print!("{}", t.render());
+    t.emit("Table 2. SMT simulation workload classification", args.csv);
     println!();
-    for &g in ALL_GROUPS {
-        println!("{}:", g.name());
-        for mix in mixes_for_group(g) {
-            println!("  {}", mix.label().replace('+', ","));
+
+    if args.csv {
+        // Keep the '+' separator so mix labels stay single CSV cells.
+        let mut detail = TableWriter::new(&["group", "mix"]);
+        for &g in ALL_GROUPS {
+            for mix in mixes_for_group(g) {
+                detail.row(vec![g.name().to_string(), mix.label()]);
+            }
+        }
+        detail.emit("Table 2 (detail). Mixes per group", true);
+    } else {
+        for &g in ALL_GROUPS {
+            println!("{}:", g.name());
+            for mix in mixes_for_group(g) {
+                println!("  {}", mix.label().replace('+', ","));
+            }
         }
     }
 }

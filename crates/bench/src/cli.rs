@@ -4,7 +4,8 @@
 ///
 /// Flags: `--insts N` (per-thread measurement quota), `--warmup N`,
 /// `--mixes N` (mixes per group), `--seed N`, `--threads N` (simulation
-/// worker threads, 0 = all cores, 1 = serial), `--quick` (tiny preset).
+/// worker threads, 0 = all cores, 1 = serial), `--csv` (machine-readable
+/// output for plotting), `--quick` (tiny preset).
 #[derive(Clone, Copy, Debug)]
 pub struct HarnessArgs {
     /// Per-thread committed-instruction quota for measurement.
@@ -18,6 +19,8 @@ pub struct HarnessArgs {
     /// Worker threads for the sweep (0 = all cores, 1 = serial). The
     /// numeric output is identical at any thread count.
     pub threads: usize,
+    /// Emit CSV (titles as `#` comment lines) instead of aligned text.
+    pub csv: bool,
 }
 
 impl Default for HarnessArgs {
@@ -28,6 +31,7 @@ impl Default for HarnessArgs {
             mixes: 0,
             seed: 42,
             threads: 0,
+            csv: false,
         }
     }
 }
@@ -53,6 +57,7 @@ impl HarnessArgs {
                 "--mixes" => out.mixes = num(&mut args) as usize,
                 "--seed" => out.seed = num(&mut args),
                 "--threads" => out.threads = num(&mut args) as usize,
+                "--csv" => out.csv = true,
                 "--quick" => {
                     out.insts = 8_000;
                     out.warmup = 3_000;
@@ -61,7 +66,7 @@ impl HarnessArgs {
                 "--help" | "-h" => {
                     eprintln!(
                         "options: --insts N  --warmup N  --mixes N (0=all)  --seed N  \
-                         --threads N (0=all cores, 1=serial)  --quick"
+                         --threads N (0=all cores, 1=serial)  --csv  --quick"
                     );
                     std::process::exit(0);
                 }
@@ -71,7 +76,7 @@ impl HarnessArgs {
         out
     }
 
-    /// Parses the process arguments (skipping argv[0]).
+    /// Parses the process arguments (skipping `argv[0]`).
     pub fn from_env() -> Self {
         Self::parse(std::env::args().skip(1))
     }
@@ -118,5 +123,12 @@ mod tests {
     fn quick_preset() {
         let a = HarnessArgs::parse(["--quick"].iter().map(|s| s.to_string()));
         assert!(a.insts < HarnessArgs::default().insts);
+    }
+
+    #[test]
+    fn csv_flag() {
+        assert!(!HarnessArgs::default().csv);
+        let a = HarnessArgs::parse(["--csv"].iter().map(|s| s.to_string()));
+        assert!(a.csv);
     }
 }

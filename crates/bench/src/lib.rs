@@ -1,10 +1,13 @@
 //! # rat-bench — figure/table harness support
 //!
 //! The binaries in this crate regenerate every table and figure of the
-//! paper's evaluation; shared plumbing (CLI parsing, parallel sweep
-//! orchestration, table formatting) lives here. Sweeps run the
-//! experiment matrix over all cores by default (`--threads N` to
-//! restrict); output is deterministic at any thread count.
+//! paper's evaluation (§5–§6: Tables 1–2, Figures 1–6); shared plumbing
+//! lives here — CLI parsing ([`HarnessArgs`]), parallel sweep
+//! orchestration ([`policy_matrix`]), and table formatting
+//! ([`TableWriter`], aligned text or `--csv` machine-readable output).
+//! Sweeps run the experiment matrix over all cores by default
+//! (`--threads N` to restrict); output is deterministic at any thread
+//! count.
 
 pub mod cli;
 pub mod sweep;

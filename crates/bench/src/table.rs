@@ -64,12 +64,35 @@ impl TableWriter {
         out
     }
 
-    /// Renders as CSV (for plotting).
+    /// Prints `title` and the table to stdout in the harness-wide output
+    /// convention: aligned text with a blank separator line by default,
+    /// or CSV with the title as a `#` comment line under `--csv` (so a
+    /// redirected file stays machine-readable — plotting tools skip `#`
+    /// lines).
+    pub fn emit(&self, title: &str, csv: bool) {
+        if csv {
+            print!("# {title}\n{}", self.render_csv());
+        } else {
+            print!("{title}\n\n{}", self.render());
+        }
+    }
+
+    /// Renders as CSV (for plotting). Cells containing commas, quotes or
+    /// newlines are quoted per RFC 4180.
     pub fn render_csv(&self) -> String {
-        let mut out = self.header.join(",");
+        fn cell(s: &str) -> String {
+            if s.contains([',', '"', '\n']) {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        }
+        let render_row =
+            |cells: &[String]| cells.iter().map(|c| cell(c)).collect::<Vec<_>>().join(",");
+        let mut out = render_row(&self.header);
         out.push('\n');
         for row in &self.rows {
-            out.push_str(&row.join(","));
+            out.push_str(&render_row(row));
             out.push('\n');
         }
         out
@@ -97,5 +120,15 @@ mod tests {
     fn arity_mismatch_panics() {
         let mut t = TableWriter::new(&["a", "b"]);
         t.row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn csv_quotes_cells_with_separators() {
+        let mut t = TableWriter::new(&["k", "v"]);
+        t.row(vec!["plain".into(), "64 KB, 4-way".into()]);
+        t.row(vec!["quoted".into(), "say \"hi\"".into()]);
+        let csv = t.render_csv();
+        assert!(csv.contains("plain,\"64 KB, 4-way\"\n"));
+        assert!(csv.contains("quoted,\"say \"\"hi\"\"\"\n"));
     }
 }

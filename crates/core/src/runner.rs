@@ -3,6 +3,7 @@
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Mutex;
 
+use rat_mem::MemEventStats;
 use rat_smt::{PolicyKind, SmtConfig, SmtSimulator, ThreadStats};
 use rat_workload::{Benchmark, Mix, ThreadImage};
 
@@ -50,6 +51,9 @@ pub struct MixResult {
     pub complete: bool,
     /// Full per-thread counters.
     pub thread_stats: Vec<ThreadStats>,
+    /// L2-port / memory-bus contention counters of the shared hierarchy
+    /// (cumulative over the whole simulation, warmup included).
+    pub mem_events: MemEventStats,
 }
 
 impl MixResult {
@@ -152,6 +156,7 @@ impl Runner {
             cycles: sim.stats().cycles_since_reset(),
             complete,
             thread_stats: sim.stats().threads.clone(),
+            mem_events: sim.stats().mem_events,
         }
     }
 

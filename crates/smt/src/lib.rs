@@ -9,7 +9,11 @@
 //!   queues, as in the paper's shared-ROB design);
 //! * 320 integer + 320 FP physical registers with renaming;
 //! * 64-entry INT/FP/LS issue queues; 6 INT, 3 FP, 4 LS units;
-//! * perceptron branch predictor; shared I/D/L2 cache hierarchy.
+//! * perceptron branch predictor; shared I/D/L2 cache hierarchy with
+//!   event-driven L2-port and memory-bus contention (threads compete
+//!   for bandwidth, not just capacity — see [`rat_mem::event`]), whose
+//!   counters surface in [`SimStats::mem_events`] and per-thread
+//!   [`ThreadStats::mem_stall_cycles`].
 //!
 //! On top of the pipeline it implements every resource-management scheme
 //! the paper evaluates:
@@ -50,5 +54,6 @@ mod types;
 pub use config::{RunaheadConfig, RunaheadVariant, SmtConfig};
 pub use pipeline::SmtSimulator;
 pub use policy::PolicyKind;
+pub use rat_mem::MemEventStats;
 pub use stats::{SimStats, ThreadStats};
 pub use types::{Cycle, ExecMode, IqKind, PhysReg, RegClass, ThreadId};

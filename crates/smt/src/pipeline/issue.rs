@@ -176,6 +176,10 @@ fn issue_load(
             if res.rejected {
                 return None;
             }
+            // Memory stall attribution: every cycle this load's data is
+            // not yet available past issue. Port/bus contention in the
+            // event-driven hierarchy lengthens exactly this wait.
+            sim.stats.threads[tid].mem_stall_cycles += res.ready_at.saturating_sub(sim.now);
             if !res.l1_hit {
                 let e = sim.threads[tid].rob.get_mut(seq).expect("load entry");
                 e.dmiss = true;

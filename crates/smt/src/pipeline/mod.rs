@@ -227,9 +227,8 @@ impl SmtSimulator {
 
         SmtSimulator {
             stats: SimStats {
-                cycles: 0,
-                cycles_at_reset: 0,
                 threads: vec![ThreadStats::default(); n],
+                ..SimStats::default()
             },
             now: 0,
             last_progress: 0,
@@ -361,5 +360,9 @@ impl SmtSimulator {
             ts.int_reg_cycles[m] += self.res.int_rf.allocated(tid) as u64;
             ts.fp_reg_cycles[m] += self.res.fp_rf.allocated(tid) as u64;
         }
+        // Mirror the shared hierarchy's contention counters so
+        // `SimStats` snapshots carry them (bus occupancy, port
+        // conflicts).
+        self.stats.mem_events = *self.res.hier.event_stats();
     }
 }

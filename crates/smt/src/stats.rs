@@ -1,6 +1,7 @@
 //! Simulation statistics.
 
 use rat_bpred::PredictorStats;
+use rat_mem::MemEventStats;
 
 use crate::types::Cycle;
 
@@ -62,6 +63,11 @@ pub struct ThreadStats {
     pub l2_miss_loads: u64,
     /// Loads satisfied by store→load forwarding.
     pub forwarded_loads: u64,
+    /// Cycles demand (normal-mode) loads spent waiting on the memory
+    /// system past their issue cycle, summed over loads. Grows under
+    /// L2-port and memory-bus contention, which is how the event-driven
+    /// hierarchy's sharpened MEM-mix numbers show up per thread.
+    pub mem_stall_cycles: u64,
 }
 
 impl ThreadStats {
@@ -92,6 +98,11 @@ pub struct SimStats {
     pub cycles_at_reset: Cycle,
     /// Per-thread counters.
     pub threads: Vec<ThreadStats>,
+    /// L2-port and memory-bus contention counters from the shared
+    /// hierarchy, refreshed every cycle. Cumulative over the whole
+    /// simulation (warmup included) — [`crate::SmtSimulator::reset_stats`]
+    /// does not zero them, so compare totals across runs.
+    pub mem_events: MemEventStats,
 }
 
 impl SimStats {
@@ -125,6 +136,12 @@ impl SimStats {
     pub fn total_committed(&self) -> u64 {
         self.threads.iter().map(|t| t.committed_since_reset()).sum()
     }
+
+    /// Total memory stall cycles across threads (sum of per-thread
+    /// [`ThreadStats::mem_stall_cycles`] over the measurement window).
+    pub fn total_mem_stall_cycles(&self) -> u64 {
+        self.threads.iter().map(|t| t.mem_stall_cycles).sum()
+    }
 }
 
 #[cfg(test)]
@@ -135,8 +152,8 @@ mod tests {
     fn thread_ipc_uses_quota_window() {
         let mut s = SimStats {
             cycles: 1000,
-            cycles_at_reset: 0,
             threads: vec![ThreadStats::default()],
+            ..SimStats::default()
         };
         s.threads[0].committed = 500;
         s.threads[0].committed_at_quota = 500;
@@ -165,8 +182,8 @@ mod tests {
     fn executed_excludes_folded() {
         let mut s = SimStats {
             cycles: 1,
-            cycles_at_reset: 0,
             threads: vec![ThreadStats::default(), ThreadStats::default()],
+            ..SimStats::default()
         };
         s.threads[0].issued = 10;
         s.threads[0].folded = 2;
