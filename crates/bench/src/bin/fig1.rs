@@ -4,8 +4,8 @@
 //! The group × policy × mix matrix runs in parallel over all cores
 //! (`--threads 1` for a serial run; the tables are identical).
 
-use rat_bench::{policy_matrix, HarnessArgs, TableWriter};
-use rat_core::{RunConfig, Runner};
+use rat_bench::{emit_truncation_note, mark_row_label, policy_matrix, HarnessArgs, TableWriter};
+use rat_core::Runner;
 use rat_smt::{PolicyKind, SmtConfig};
 
 const POLICIES: [PolicyKind; 4] = [
@@ -17,21 +17,20 @@ const POLICIES: [PolicyKind; 4] = [
 
 fn main() {
     let args = HarnessArgs::from_env();
-    let run = RunConfig {
-        insts_per_thread: args.insts,
-        warmup_insts: args.warmup,
-        seed: args.seed,
-        ..RunConfig::default()
-    };
-    let runner = Runner::new(SmtConfig::hpca2008_baseline(), run);
+    let mut runner = Runner::new(SmtConfig::hpca2008_baseline(), args.run_config());
+    if let Some(p) = &args.st_cache {
+        runner.set_st_cache_path(p.as_str());
+    }
 
     let matrix = policy_matrix(&runner, &POLICIES, args.mixes, args.threads);
 
     let mut thr = TableWriter::new(&["group", "ICOUNT", "STALL", "FLUSH", "RaT"]);
     let mut fair = TableWriter::new(&["group", "ICOUNT", "STALL", "FLUSH", "RaT"]);
     for (g, summaries) in &matrix {
-        let mut trow = vec![g.name().to_string()];
-        let mut frow = vec![g.name().to_string()];
+        let truncated = summaries.iter().any(|s| s.incomplete > 0);
+        let label = mark_row_label(g.name(), truncated);
+        let mut trow = vec![label.clone()];
+        let mut frow = vec![label];
         for s in summaries {
             trow.push(format!("{:.3}", s.throughput));
             frow.push(format!("{:.3}", s.fairness));
@@ -46,6 +45,12 @@ fn main() {
     println!();
     fair.emit(
         "Figure 1(b). Fairness (hmean of speedups, Eq. 2) per I-fetch policy",
+        args.csv,
+    );
+    emit_truncation_note(
+        matrix
+            .iter()
+            .any(|(_, ss)| ss.iter().any(|s| s.incomplete > 0)),
         args.csv,
     );
 }

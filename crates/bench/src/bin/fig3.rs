@@ -4,8 +4,8 @@
 //! ICOUNT rides along as the first policy column of the parallel sweep
 //! and provides the per-group normalization denominator.
 
-use rat_bench::{policy_matrix, HarnessArgs, TableWriter};
-use rat_core::{RunConfig, Runner};
+use rat_bench::{emit_truncation_note, mark_row_label, policy_matrix, HarnessArgs, TableWriter};
+use rat_core::Runner;
 use rat_smt::{PolicyKind, SmtConfig};
 
 /// ICOUNT first (the baseline), then the techniques under evaluation.
@@ -20,27 +20,32 @@ const POLICIES: [PolicyKind; 6] = [
 
 fn main() {
     let args = HarnessArgs::from_env();
-    let run = RunConfig {
-        insts_per_thread: args.insts,
-        warmup_insts: args.warmup,
-        seed: args.seed,
-        ..RunConfig::default()
-    };
-    let runner = Runner::new(SmtConfig::hpca2008_baseline(), run);
+    let mut runner = Runner::new(SmtConfig::hpca2008_baseline(), args.run_config());
+    if let Some(p) = &args.st_cache {
+        runner.set_st_cache_path(p.as_str());
+    }
 
     let matrix = policy_matrix(&runner, &POLICIES, args.mixes, args.threads);
 
     let mut t = TableWriter::new(&["group", "STALL", "FLUSH", "DCRA", "HILL", "RaT"]);
     for (g, summaries) in &matrix {
-        let base = summaries[0].ed2;
-        let mut row = vec![g.name().to_string()];
+        let base = &summaries[0];
+        // A truncated mix on either side of a ratio taints the row.
+        let truncated = summaries.iter().any(|s| s.incomplete > 0);
+        let mut row = vec![mark_row_label(g.name(), truncated)];
         for s in &summaries[1..] {
-            row.push(format!("{:.3}", s.ed2 / base));
+            row.push(format!("{:.3}", s.ed2 / base.ed2));
         }
         t.row(row);
     }
     t.emit(
         "Figure 3. ED² normalized to ICOUNT (lower is better)",
+        args.csv,
+    );
+    emit_truncation_note(
+        matrix
+            .iter()
+            .any(|(_, ss)| ss.iter().any(|s| s.incomplete > 0)),
         args.csv,
     );
 }

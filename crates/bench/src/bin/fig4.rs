@@ -13,8 +13,8 @@
 //! Every (mix × variant) simulation is independent, so the whole
 //! ablation matrix runs in parallel over all cores.
 
-use rat_bench::{select_mixes, HarnessArgs, TableWriter};
-use rat_core::{parallel, MixResult, RunConfig, Runner};
+use rat_bench::{emit_truncation_note, mark_row_label, select_mixes, HarnessArgs, TableWriter};
+use rat_core::{parallel, MixResult, Runner};
 use rat_smt::{PolicyKind, RunaheadVariant, SmtConfig};
 use rat_workload::{Mix, ThreadClass, ALL_GROUPS};
 
@@ -50,19 +50,22 @@ const BASE: usize = 3;
 
 fn main() {
     let args = HarnessArgs::from_env();
-    let run = RunConfig {
-        insts_per_thread: args.insts,
-        warmup_insts: args.warmup,
-        seed: args.seed,
-        ..RunConfig::default()
-    };
+    let run = args.run_config();
 
-    let runners = [
+    let mut runners = [
         Runner::new(variant_config(RunaheadVariant::Full), run),
         Runner::new(variant_config(RunaheadVariant::NoPrefetch), run),
         Runner::new(variant_config(RunaheadVariant::NoFetch), run),
         Runner::new(SmtConfig::hpca2008_baseline(), run),
     ];
+    if let Some(p) = &args.st_cache {
+        // One file per variant: the configs differ, so the fingerprints
+        // would invalidate a shared file on every save.
+        for (runner, tag) in runners.iter_mut().zip(["full", "nopf", "nofetch", "base"]) {
+            runner.set_st_cache_path(format!("{p}.{tag}"));
+        }
+    }
+    let runners = runners;
     let policy_of = |which: usize| {
         if which == BASE {
             PolicyKind::Icount
@@ -102,15 +105,18 @@ fn main() {
         "resource-avail(%)",
         "overhead(%)",
     ]);
+    let mut any_truncated = false;
     for (gi, &g) in ALL_GROUPS.iter().enumerate() {
         let (mut pf_gain, mut ra_gain) = (0.0, 0.0);
         let (mut ovh_sum, mut ovh_n) = (0.0, 0usize);
+        let mut truncated = false;
         for (mi, mix) in groups[gi].1.iter().enumerate() {
             let cell = &per_group[gi][mi];
             let r_full = cell[FULL].as_ref().expect("ran");
             let r_nopf = cell[NOPF].as_ref().expect("ran");
             let r_nofetch = cell[NOFETCH].as_ref().expect("ran");
             let r_base = cell[BASE].as_ref().expect("ran");
+            truncated |= cell.iter().flatten().any(|r| !r.complete);
             pf_gain += r_full.throughput() / r_nopf.throughput() - 1.0;
             ra_gain += r_nofetch.throughput() / r_base.throughput() - 1.0;
             if let (Some(a), Some(b)) = (
@@ -127,14 +133,16 @@ fn main() {
         } else {
             "n/a".to_string()
         };
+        any_truncated |= truncated;
         t.row(vec![
-            g.name().to_string(),
+            mark_row_label(g.name(), truncated),
             format!("{:+.1}", 100.0 * pf_gain / n),
             format!("{:+.1}", 100.0 * ra_gain / n),
             ovh,
         ]);
     }
     t.emit("Figure 4. Sources of improvement of RaT", args.csv);
+    emit_truncation_note(any_truncated, args.csv);
     if !args.csv {
         println!("\n(prefetching: RaT vs RaT-no-prefetch; resource availability: RaT-no-fetch vs");
         println!(" ICOUNT; overhead: ILP co-runners under RaT-no-prefetch vs ICOUNT — negative");

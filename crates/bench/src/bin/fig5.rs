@@ -4,20 +4,17 @@
 //! Every mix simulation is independent, so all groups' mixes run in
 //! parallel over all cores.
 
-use rat_bench::{select_mixes, HarnessArgs, TableWriter};
-use rat_core::{parallel, MixResult, RunConfig, Runner};
+use rat_bench::{emit_truncation_note, mark_row_label, select_mixes, HarnessArgs, TableWriter};
+use rat_core::{parallel, MixResult, Runner};
 use rat_smt::{PolicyKind, SmtConfig};
 use rat_workload::{Mix, ALL_GROUPS};
 
 fn main() {
     let args = HarnessArgs::from_env();
-    let run = RunConfig {
-        insts_per_thread: args.insts,
-        warmup_insts: args.warmup,
-        seed: args.seed,
-        ..RunConfig::default()
-    };
-    let runner = Runner::new(SmtConfig::hpca2008_baseline(), run);
+    let mut runner = Runner::new(SmtConfig::hpca2008_baseline(), args.run_config());
+    if let Some(p) = &args.st_cache {
+        runner.set_st_cache_path(p.as_str());
+    }
 
     let tasks: Vec<(usize, Mix)> = ALL_GROUPS
         .iter()
@@ -33,15 +30,18 @@ fn main() {
     });
 
     let mut t = TableWriter::new(&["group", "normal mode", "runahead mode", "ratio"]);
+    let mut any_truncated = false;
     for (gi, &g) in ALL_GROUPS.iter().enumerate() {
         // Per-cycle per-thread register occupancy, averaged over threads
         // that actually spent cycles in each mode.
         let (mut normal, mut nn) = (0.0, 0u64);
         let (mut ra, mut rn) = (0.0, 0u64);
+        let mut truncated = false;
         for ((tgi, _), r) in tasks.iter().zip(&results) {
             if *tgi != gi {
                 continue;
             }
+            truncated |= !r.complete;
             for ts in &r.thread_stats {
                 if let Some(v) = ts.regs_per_cycle(0) {
                     normal += v;
@@ -55,8 +55,9 @@ fn main() {
         }
         let normal = normal / nn.max(1) as f64;
         let ra = if rn > 0 { ra / rn as f64 } else { f64::NAN };
+        any_truncated |= truncated;
         t.row(vec![
-            g.name().to_string(),
+            mark_row_label(g.name(), truncated),
             format!("{normal:.1}"),
             if rn > 0 {
                 format!("{ra:.1}")
@@ -75,4 +76,5 @@ fn main() {
          normal vs runahead mode (RaT policy)",
         args.csv,
     );
+    emit_truncation_note(any_truncated, args.csv);
 }

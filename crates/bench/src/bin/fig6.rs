@@ -14,7 +14,7 @@
 //! fairness are simulated once per (benchmark, size) instead of once per
 //! cell. Cells still run in parallel over all cores.
 
-use rat_bench::{select_mixes, HarnessArgs, TableWriter};
+use rat_bench::{emit_truncation_note, mark_row_label, select_mixes, HarnessArgs, TableWriter};
 use rat_core::{parallel, GroupSummary, RunConfig, Runner};
 use rat_smt::{PolicyKind, SmtConfig};
 use rat_workload::{Mix, WorkloadGroup};
@@ -45,7 +45,7 @@ fn sweep(
     sizes: &[usize],
     runners: &[(usize, Runner)],
     args: &HarnessArgs,
-) -> (TableWriter, TableWriter) {
+) -> (TableWriter, TableWriter, bool) {
     let mut header: Vec<String> = vec!["policy/group".into()];
     header.extend(sizes.iter().map(|s| format!("{s}r")));
     let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
@@ -76,7 +76,11 @@ fn sweep(
     // tasks iterate sizes innermost, so each row is a consecutive chunk.
     for (chunk_idx, chunk) in summaries.chunks(sizes.len()).enumerate() {
         let (gi, policy, _) = tasks[chunk_idx * sizes.len()];
-        let label = format!("{} {}", policy.name(), groups[gi].name());
+        let truncated = chunk.iter().any(|s| s.incomplete > 0);
+        let label = mark_row_label(
+            format!("{} {}", policy.name(), groups[gi].name()),
+            truncated,
+        );
         let mut trow = vec![label.clone()];
         let mut frow = vec![label];
         trow.extend(chunk.iter().map(|s| format!("{:.3}", s.throughput)));
@@ -84,17 +88,13 @@ fn sweep(
         thr.row(trow);
         fair.row(frow);
     }
-    (thr, fair)
+    let truncated = summaries.iter().any(|s| s.incomplete > 0);
+    (thr, fair, truncated)
 }
 
 fn main() {
     let args = HarnessArgs::from_env();
-    let run = RunConfig {
-        insts_per_thread: args.insts,
-        warmup_insts: args.warmup,
-        seed: args.seed,
-        ..RunConfig::default()
-    };
+    let run = args.run_config();
 
     // One shared runner per distinct size across both sweeps.
     let mut all_sizes: Vec<usize> = SIZES_2T.iter().chain(SIZES_4T.iter()).copied().collect();
@@ -102,7 +102,15 @@ fn main() {
     all_sizes.dedup();
     let runners: Vec<(usize, Runner)> = all_sizes
         .iter()
-        .map(|&s| (s, runner_for_size(s, run)))
+        .map(|&s| {
+            let mut runner = runner_for_size(s, run);
+            if let Some(p) = &args.st_cache {
+                // One file per register-file size: the references depend
+                // on the hardware, so a shared file would thrash.
+                runner.set_st_cache_path(format!("{p}.{s}r"));
+            }
+            (s, runner)
+        })
         .collect();
 
     let groups_2t = [
@@ -138,7 +146,7 @@ fn main() {
         }
     }
 
-    let (t2, f2) = sweep(&groups_2t, &SIZES_2T, &runners, &args);
+    let (t2, f2, trunc2) = sweep(&groups_2t, &SIZES_2T, &runners, &args);
     t2.emit(
         "Figure 6(a). Throughput vs register file size, 2-thread workloads",
         args.csv,
@@ -149,7 +157,7 @@ fn main() {
         args.csv,
     );
     println!();
-    let (t4, f4) = sweep(&groups_4t, &SIZES_4T, &runners, &args);
+    let (t4, f4, trunc4) = sweep(&groups_4t, &SIZES_4T, &runners, &args);
     t4.emit(
         "Figure 6(b). Throughput vs register file size, 4-thread workloads",
         args.csv,
@@ -159,4 +167,5 @@ fn main() {
         "Figure 6(b'). Fairness vs register file size, 4-thread workloads",
         args.csv,
     );
+    emit_truncation_note(trunc2 || trunc4, args.csv);
 }

@@ -1,0 +1,243 @@
+//! perfbench — wall-clock benchmarks of the simulator itself.
+//!
+//! Every perf-oriented PR is judged against this harness: it times a
+//! fixed set of representative (mix × policy) cells — one per figure
+//! regime, with cycle-skip ablation pairs on the memory-bound mix where
+//! skipping matters most — prints a table, and writes the results to a
+//! JSON artifact (default `BENCH_3.json`) of the form
+//! `{bench_name: {"wall_ms": .., "cycles_simulated": .., "cycles_per_sec": ..}}`
+//! so the perf trajectory is tracked in the repository.
+//!
+//! The simulated *numbers* are identical with and without `noskip`
+//! (enforced by `tests/cycle_skip.rs`); only wall-clock differs, which
+//! is exactly what this harness measures. Dependency-free: timing via
+//! `std::time::Instant`, JSON written by hand.
+//!
+//! Flags: `--insts N` / `--warmup N` / `--seed N` (methodology),
+//! `--out PATH` (JSON artifact), `--smoke` (tiny quota — verifies the
+//! harness runs end to end, e.g. in CI; the timings are meaningless).
+
+use std::time::Instant;
+
+use rat_bench::TableWriter;
+use rat_smt::{PolicyKind, SmtConfig, SmtSimulator};
+use rat_workload::{mixes_for_group, ThreadImage, WorkloadGroup};
+
+/// One benchmark cell: a Table 2 mix under a policy, with or without
+/// cycle skipping.
+struct BenchSpec {
+    name: &'static str,
+    group: WorkloadGroup,
+    policy: PolicyKind,
+    no_skip: bool,
+}
+
+const fn spec(
+    name: &'static str,
+    group: WorkloadGroup,
+    policy: PolicyKind,
+    no_skip: bool,
+) -> BenchSpec {
+    BenchSpec {
+        name,
+        group,
+        policy,
+        no_skip,
+    }
+}
+
+/// The tracked benchmark set. MEM4 carries the skip-ablation pairs (the
+/// memory-bound regime is where dead cycles dominate); ILP4 bounds the
+/// compute-bound end where skipping rarely fires; the policy spread
+/// covers every figure's hot loop (fig1: ICOUNT/STALL/FLUSH/RaT, fig2:
+/// DCRA/HILL, fig4/5: RaT variants ride the RaT cell).
+const BENCHES: &[BenchSpec] = &[
+    spec(
+        "ilp4_icount",
+        WorkloadGroup::Ilp4,
+        PolicyKind::Icount,
+        false,
+    ),
+    spec(
+        "mem4_icount",
+        WorkloadGroup::Mem4,
+        PolicyKind::Icount,
+        false,
+    ),
+    spec(
+        "mem4_icount_noskip",
+        WorkloadGroup::Mem4,
+        PolicyKind::Icount,
+        true,
+    ),
+    spec("mem4_stall", WorkloadGroup::Mem4, PolicyKind::Stall, false),
+    spec("mem4_flush", WorkloadGroup::Mem4, PolicyKind::Flush, false),
+    spec("mem4_dcra", WorkloadGroup::Mem4, PolicyKind::Dcra, false),
+    spec("mem4_hill", WorkloadGroup::Mem4, PolicyKind::Hill, false),
+    spec("mem4_rat", WorkloadGroup::Mem4, PolicyKind::Rat, false),
+    spec(
+        "mem4_rat_noskip",
+        WorkloadGroup::Mem4,
+        PolicyKind::Rat,
+        true,
+    ),
+    spec("mix4_rat", WorkloadGroup::Mix4, PolicyKind::Rat, false),
+];
+
+struct BenchResult {
+    name: &'static str,
+    wall_ms: f64,
+    cycles: u64,
+    cycles_per_sec: f64,
+    skipped: u64,
+    committed: u64,
+}
+
+struct Args {
+    insts: u64,
+    warmup: u64,
+    seed: u64,
+    out: String,
+    smoke: bool,
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        insts: 30_000,
+        warmup: 20_000,
+        seed: 42,
+        out: "BENCH_3.json".to_string(),
+        smoke: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        fn num(v: Option<String>, what: &str) -> u64 {
+            v.and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| panic!("expected a number after {what}"))
+        }
+        match a.as_str() {
+            "--insts" => out.insts = num(args.next(), "--insts"),
+            "--warmup" => out.warmup = num(args.next(), "--warmup"),
+            "--seed" => out.seed = num(args.next(), "--seed"),
+            "--out" => out.out = args.next().expect("expected a path after --out"),
+            "--smoke" => out.smoke = true,
+            "--help" | "-h" => {
+                eprintln!("options: --insts N  --warmup N  --seed N  --out PATH  --smoke");
+                std::process::exit(0);
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    if out.smoke {
+        out.insts = 400;
+        out.warmup = 200;
+    }
+    out
+}
+
+fn run_bench(s: &BenchSpec, args: &Args) -> BenchResult {
+    let mix = &mixes_for_group(s.group)[0];
+    let mut cfg = SmtConfig::hpca2008_baseline();
+    cfg.policy = s.policy;
+    let cpus = mix
+        .benchmarks
+        .iter()
+        .enumerate()
+        .map(|(i, &b)| ThreadImage::generate(b, args.seed + i as u64).build_cpu())
+        .collect();
+    let mut sim = SmtSimulator::new(cfg, cpus);
+    sim.set_cycle_skip(!s.no_skip);
+
+    // Time the whole simulation (warmup + measurement): the figure
+    // sweeps pay for both phases.
+    let started = Instant::now();
+    sim.run_until_quota(args.warmup, 400_000_000);
+    sim.reset_stats();
+    sim.run_until_quota(args.insts, 400_000_000);
+    let wall = started.elapsed();
+
+    let cycles = sim.cycles();
+    let wall_ms = wall.as_secs_f64() * 1e3;
+    BenchResult {
+        name: s.name,
+        wall_ms,
+        cycles,
+        cycles_per_sec: cycles as f64 / wall.as_secs_f64().max(1e-9),
+        skipped: sim.stats().skipped_cycles,
+        committed: sim.stats().threads.iter().map(|t| t.committed).sum::<u64>(),
+    }
+}
+
+/// Serializes the results as the tracked JSON artifact (hand-rolled;
+/// the harness is dependency-free).
+fn to_json(results: &[BenchResult]) -> String {
+    let mut out = String::from("{\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "  \"{}\": {{\"wall_ms\": {:.3}, \"cycles_simulated\": {}, \"cycles_per_sec\": {:.1}}}",
+            r.name, r.wall_ms, r.cycles, r.cycles_per_sec
+        ));
+        out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn speedup_line(results: &[BenchResult], fast: &str, slow: &str, label: &str) -> Option<f64> {
+    let f = results.iter().find(|r| r.name == fast)?;
+    let s = results.iter().find(|r| r.name == slow)?;
+    let speedup = f.cycles_per_sec / s.cycles_per_sec;
+    println!("cycle-skip speedup ({label}): {speedup:.2}x (cycles/sec, {fast} vs {slow})");
+    Some(speedup)
+}
+
+fn main() {
+    let args = parse_args();
+    if args.smoke {
+        eprintln!("perfbench: --smoke run (tiny quota; timings are not meaningful)");
+    }
+
+    let results: Vec<BenchResult> = BENCHES.iter().map(|s| run_bench(s, &args)).collect();
+
+    let mut t = TableWriter::new(&[
+        "bench",
+        "wall_ms",
+        "Mcycles",
+        "Mcycles/s",
+        "skipped%",
+        "committed",
+    ]);
+    for r in &results {
+        t.row(vec![
+            r.name.to_string(),
+            format!("{:.1}", r.wall_ms),
+            format!("{:.2}", r.cycles as f64 / 1e6),
+            format!("{:.2}", r.cycles_per_sec / 1e6),
+            format!("{:.1}", 100.0 * r.skipped as f64 / r.cycles.max(1) as f64),
+            r.committed.to_string(),
+        ]);
+    }
+    t.emit("perfbench: simulator wall-clock benchmarks", false);
+    println!();
+    speedup_line(
+        &results,
+        "mem4_icount",
+        "mem4_icount_noskip",
+        "MEM4, ICOUNT",
+    );
+    speedup_line(&results, "mem4_rat", "mem4_rat_noskip", "MEM4, RaT");
+
+    let json = to_json(&results);
+    if let Err(e) = std::fs::write(&args.out, &json) {
+        eprintln!("perfbench: failed to write {}: {e}", args.out);
+        std::process::exit(1);
+    }
+    println!("\nwrote {}", args.out);
+
+    // Smoke mode is a harness self-check: every cell must have simulated
+    // something and timed it.
+    for r in &results {
+        assert!(r.cycles > 0 && r.wall_ms > 0.0, "empty bench {}", r.name);
+        assert!(r.committed > 0, "no commits in bench {}", r.name);
+    }
+}

@@ -1,12 +1,16 @@
 //! Minimal argument parsing shared by the figure binaries.
 
+use rat_core::RunConfig;
+
 /// Common harness options.
 ///
 /// Flags: `--insts N` (per-thread measurement quota), `--warmup N`,
 /// `--mixes N` (mixes per group), `--seed N`, `--threads N` (simulation
 /// worker threads, 0 = all cores, 1 = serial), `--csv` (machine-readable
-/// output for plotting), `--quick` (tiny preset).
-#[derive(Clone, Copy, Debug)]
+/// output for plotting), `--st-cache PATH` (persist single-thread
+/// reference IPCs across invocations), `--no-skip` (step every cycle —
+/// the cycle-skipping ablation), `--quick` (tiny preset).
+#[derive(Clone, Debug)]
 pub struct HarnessArgs {
     /// Per-thread committed-instruction quota for measurement.
     pub insts: u64,
@@ -21,6 +25,12 @@ pub struct HarnessArgs {
     pub threads: usize,
     /// Emit CSV (titles as `#` comment lines) instead of aligned text.
     pub csv: bool,
+    /// Persist the single-thread reference IPC cache at this path, so
+    /// repeated invocations skip the ST reference simulations.
+    pub st_cache: Option<String>,
+    /// Disable event-driven cycle skipping (wall-clock ablation; the
+    /// simulated numbers are bit-identical either way).
+    pub no_skip: bool,
 }
 
 impl Default for HarnessArgs {
@@ -32,6 +42,8 @@ impl Default for HarnessArgs {
             seed: 42,
             threads: 0,
             csv: false,
+            st_cache: None,
+            no_skip: false,
         }
     }
 }
@@ -58,6 +70,13 @@ impl HarnessArgs {
                 "--seed" => out.seed = num(&mut args),
                 "--threads" => out.threads = num(&mut args) as usize,
                 "--csv" => out.csv = true,
+                "--st-cache" => {
+                    out.st_cache = Some(
+                        args.next()
+                            .unwrap_or_else(|| panic!("expected a path after --st-cache")),
+                    );
+                }
+                "--no-skip" => out.no_skip = true,
                 "--quick" => {
                     out.insts = 8_000;
                     out.warmup = 3_000;
@@ -66,7 +85,8 @@ impl HarnessArgs {
                 "--help" | "-h" => {
                     eprintln!(
                         "options: --insts N  --warmup N  --mixes N (0=all)  --seed N  \
-                         --threads N (0=all cores, 1=serial)  --csv  --quick"
+                         --threads N (0=all cores, 1=serial)  --csv  --st-cache PATH  \
+                         --no-skip  --quick"
                     );
                     std::process::exit(0);
                 }
@@ -80,6 +100,18 @@ impl HarnessArgs {
     pub fn from_env() -> Self {
         Self::parse(std::env::args().skip(1))
     }
+
+    /// The [`RunConfig`] these arguments describe (remaining fields from
+    /// [`RunConfig::default`]).
+    pub fn run_config(&self) -> RunConfig {
+        RunConfig {
+            insts_per_thread: self.insts,
+            warmup_insts: self.warmup,
+            seed: self.seed,
+            no_skip: self.no_skip,
+            ..RunConfig::default()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -92,6 +124,8 @@ mod tests {
         assert!(a.insts > 0 && a.warmup > 0);
         assert_eq!(a.mixes, 0);
         assert_eq!(a.threads, 0, "default uses all cores");
+        assert!(a.st_cache.is_none());
+        assert!(!a.no_skip);
     }
 
     #[test]
@@ -130,5 +164,31 @@ mod tests {
         assert!(!HarnessArgs::default().csv);
         let a = HarnessArgs::parse(["--csv"].iter().map(|s| s.to_string()));
         assert!(a.csv);
+    }
+
+    #[test]
+    fn st_cache_and_no_skip_flags() {
+        let a = HarnessArgs::parse(
+            ["--st-cache", "/tmp/st.txt", "--no-skip"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(a.st_cache.as_deref(), Some("/tmp/st.txt"));
+        assert!(a.no_skip);
+        assert!(a.run_config().no_skip);
+    }
+
+    #[test]
+    fn run_config_mirrors_args() {
+        let a = HarnessArgs::parse(
+            ["--insts", "123", "--warmup", "45", "--seed", "6"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        let rc = a.run_config();
+        assert_eq!(rc.insts_per_thread, 123);
+        assert_eq!(rc.warmup_insts, 45);
+        assert_eq!(rc.seed, 6);
+        assert!(!rc.no_skip);
     }
 }

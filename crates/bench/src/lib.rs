@@ -14,5 +14,5 @@ pub mod sweep;
 pub mod table;
 
 pub use cli::HarnessArgs;
-pub use sweep::{policy_matrix, select_mixes};
+pub use sweep::{emit_truncation_note, mark_row_label, policy_matrix, select_mixes};
 pub use table::TableWriter;

@@ -22,6 +22,34 @@ pub fn select_mixes(group: WorkloadGroup, cap: usize) -> Vec<Mix> {
     mixes
 }
 
+/// Marks a row label with `*` when the row's data covers mixes
+/// truncated at `max_cycles` (their IPCs come from an incomplete
+/// window; the `Runner` also reports each on stderr). The mark rides on
+/// the *label* — always a string column — so numeric CSV columns stay
+/// parseable as floats.
+pub fn mark_row_label(label: impl Into<String>, truncated: bool) -> String {
+    let label = label.into();
+    if truncated {
+        format!("{label}*")
+    } else {
+        label
+    }
+}
+
+/// Prints the `*` footnote when `truncated` — as a `#` comment under
+/// `--csv` so redirected output stays machine-readable.
+pub fn emit_truncation_note(truncated: bool, csv: bool) {
+    if truncated {
+        let note = "* = row includes mixes that hit max_cycles before reaching the quota \
+                    (truncated measurement window)";
+        if csv {
+            println!("# {note}");
+        } else {
+            println!("\n{note}");
+        }
+    }
+}
+
 /// Runs every Table 2 group under every policy in parallel and returns
 /// `(group, per-policy summary)` rows in `ALL_GROUPS` × `policies`
 /// order. ST references for Eq. 2 fairness are prewarmed (in parallel)
@@ -97,6 +125,7 @@ mod tests {
                 warmup_insts: 500,
                 max_cycles: 50_000_000,
                 seed: 11,
+                no_skip: false,
             },
         )
     }

@@ -1,6 +1,7 @@
 //! Experiment execution: mixes, warmup, measurement, ST reference runs.
 
 use std::collections::{BTreeSet, HashMap};
+use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
 use rat_mem::MemEventStats;
@@ -21,6 +22,10 @@ pub struct RunConfig {
     pub max_cycles: u64,
     /// Base RNG seed; thread `i` of a mix uses `seed + i`.
     pub seed: u64,
+    /// Disable the simulator's event-driven cycle skipping and step
+    /// every cycle (the `--no-skip` ablation reference). Results are
+    /// bit-identical either way; only wall-clock time differs.
+    pub no_skip: bool,
 }
 
 impl Default for RunConfig {
@@ -30,6 +35,7 @@ impl Default for RunConfig {
             warmup_insts: 20_000,
             max_cycles: 400_000_000,
             seed: 42,
+            no_skip: false,
         }
     }
 }
@@ -80,6 +86,10 @@ pub struct GroupSummary {
     pub ed2: f64,
     /// Number of mixes aggregated.
     pub mixes: usize,
+    /// Mixes that hit `max_cycles` before every thread reached its
+    /// quota: their IPCs come from a truncated window, so rows built on
+    /// this summary should be marked (the figure binaries append `*`).
+    pub incomplete: usize,
 }
 
 /// Runs experiments and caches single-thread reference IPCs.
@@ -96,6 +106,9 @@ pub struct Runner {
     smt: SmtConfig,
     run: RunConfig,
     st_cache: Mutex<HashMap<(Benchmark, u64), f64>>,
+    /// Optional persistence for the ST-reference cache (see
+    /// [`Runner::set_st_cache_path`]).
+    st_cache_path: Option<PathBuf>,
 }
 
 impl Runner {
@@ -105,6 +118,76 @@ impl Runner {
             smt,
             run,
             st_cache: Mutex::new(HashMap::new()),
+            st_cache_path: None,
+        }
+    }
+
+    /// Persists the ST-reference cache at `path`: entries already in the
+    /// file (written by an earlier invocation with the *same hardware
+    /// and methodology* — a fingerprint line guards against mismatches)
+    /// are loaded now, and every reference IPC computed later is saved
+    /// back, so repeated figure invocations skip the single-thread
+    /// reference simulations entirely.
+    ///
+    /// I/O failures are non-fatal: a missing or stale file just means an
+    /// empty starting cache, and a failed save is reported to stderr.
+    pub fn set_st_cache_path(&mut self, path: impl Into<PathBuf>) {
+        let path = path.into();
+        let loaded = load_st_cache(&path, self.st_fingerprint());
+        if !loaded.is_empty() {
+            eprintln!(
+                "st-cache: loaded {} reference IPC(s) from {}",
+                loaded.len(),
+                path.display()
+            );
+        }
+        self.st_cache
+            .get_mut()
+            .expect("cache lock poisoned")
+            .extend(loaded);
+        self.st_cache_path = Some(path);
+    }
+
+    /// Fingerprint of everything a cached ST-reference IPC depends on:
+    /// the hardware configuration (with the policy pinned to ICOUNT,
+    /// which every reference run uses) and the measurement methodology.
+    /// The cycle-skip ablation is excluded on purpose — results are
+    /// bit-identical with and without skipping.
+    fn st_fingerprint(&self) -> u64 {
+        let mut cfg = self.smt;
+        cfg.policy = PolicyKind::Icount;
+        let repr = format!(
+            "{cfg:?}/insts={}/warmup={}/max_cycles={}",
+            self.run.insts_per_thread, self.run.warmup_insts, self.run.max_cycles
+        );
+        // FNV-1a, enough to discriminate configurations.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in repr.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Rewrites the persistent cache file from the in-memory map. Call
+    /// with the cache lock held (entries passed in) to keep file and map
+    /// consistent.
+    fn save_st_cache(&self, entries: &HashMap<(Benchmark, u64), f64>) {
+        let Some(path) = &self.st_cache_path else {
+            return;
+        };
+        let mut lines: Vec<String> = entries
+            .iter()
+            .map(|(&(b, seed), &ipc)| format!("{} {} {:016x}", b.name(), seed, ipc.to_bits()))
+            .collect();
+        lines.sort(); // deterministic file contents
+        let body = format!(
+            "# rat single-thread reference IPC cache (bench seed ipc-bits-hex)\nfingerprint {:016x}\n{}\n",
+            self.st_fingerprint(),
+            lines.join("\n")
+        );
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("st-cache: failed to write {}: {e}", path.display());
         }
     }
 
@@ -136,7 +219,9 @@ impl Runner {
             .enumerate()
             .map(|(i, &b)| ThreadImage::generate(b, seed + i as u64).build_cpu())
             .collect();
-        SmtSimulator::new(cfg, cpus)
+        let mut sim = SmtSimulator::new(cfg, cpus);
+        sim.set_cycle_skip(!self.run.no_skip);
+        sim
     }
 
     /// Simulates `mix` under `policy`: warmup, stats reset, measurement
@@ -146,6 +231,13 @@ impl Runner {
         sim.run_until_quota(self.run.warmup_insts, self.run.max_cycles);
         sim.reset_stats();
         let complete = sim.run_until_quota(self.run.insts_per_thread, self.run.max_cycles);
+        if !complete {
+            eprintln!(
+                "warning: {mix} under {policy} hit max_cycles ({}) before every thread \
+                 reached its quota; IPCs are truncated-window estimates",
+                self.run.max_cycles
+            );
+        }
         let n = mix.benchmarks.len();
         let ipcs = (0..n).map(|t| sim.stats().thread_ipc(t)).collect();
         MixResult {
@@ -175,10 +267,9 @@ impl Runner {
         sim.reset_stats();
         sim.run_until_quota(self.run.insts_per_thread, self.run.max_cycles);
         let ipc = sim.stats().thread_ipc(0);
-        self.st_cache
-            .lock()
-            .expect("cache lock poisoned")
-            .insert(key, ipc);
+        let cache = &mut *self.st_cache.lock().expect("cache lock poisoned");
+        cache.insert(key, ipc);
+        self.save_st_cache(cache);
         ipc
     }
 
@@ -228,6 +319,7 @@ impl Runner {
             sum.fairness += self.fairness(r);
             sum.ed2 += r.ed2();
             sum.mixes += 1;
+            sum.incomplete += usize::from(!r.complete);
         }
         let n = sum.mixes as f64;
         sum.throughput /= n;
@@ -244,6 +336,54 @@ impl Runner {
     }
 }
 
+/// Parses a persistent ST-cache file, keeping entries only when the
+/// file's fingerprint matches `fingerprint` (a stale file — different
+/// hardware or methodology — yields an empty map). Malformed lines are
+/// skipped.
+fn load_st_cache(path: &Path, fingerprint: u64) -> HashMap<(Benchmark, u64), f64> {
+    let mut out = HashMap::new();
+    let Ok(body) = std::fs::read_to_string(path) else {
+        return out;
+    };
+    let mut fingerprint_ok = false;
+    for line in body.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(hex) = line.strip_prefix("fingerprint ") {
+            fingerprint_ok = u64::from_str_radix(hex.trim(), 16) == Ok(fingerprint);
+            if !fingerprint_ok {
+                eprintln!(
+                    "st-cache: {} was written for a different configuration; ignoring it",
+                    path.display()
+                );
+                return HashMap::new();
+            }
+            continue;
+        }
+        if !fingerprint_ok {
+            // Entries before (or without) a matching fingerprint line are
+            // untrusted.
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(bench), Some(seed), Some(bits)) = (parts.next(), parts.next(), parts.next())
+        else {
+            continue;
+        };
+        let (Some(bench), Ok(seed), Ok(bits)) = (
+            Benchmark::from_name(bench),
+            seed.parse::<u64>(),
+            u64::from_str_radix(bits, 16),
+        ) else {
+            continue;
+        };
+        out.insert((bench, seed), f64::from_bits(bits));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -255,6 +395,7 @@ mod tests {
             warmup_insts: 2_000,
             max_cycles: 50_000_000,
             seed: 7,
+            no_skip: false,
         }
     }
 
@@ -304,6 +445,76 @@ mod tests {
         let runner = Runner::new(SmtConfig::hpca2008_baseline(), quick());
         runner.prewarm_st_references([Benchmark::Gzip, Benchmark::Gzip, Benchmark::Eon], 2);
         assert_eq!(runner.st_cache.lock().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn st_cache_persists_across_runners() {
+        let path =
+            std::env::temp_dir().join(format!("rat_st_cache_test_{}.txt", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+
+        let mut r1 = Runner::new(SmtConfig::hpca2008_baseline(), quick());
+        r1.set_st_cache_path(&path);
+        let ipc = r1.single_thread_ipc(Benchmark::Gzip);
+        assert!(path.exists(), "save must create the cache file");
+
+        // Same hardware + methodology: the entry loads bit-exactly, so
+        // no reference re-simulation is needed.
+        let mut r2 = Runner::new(SmtConfig::hpca2008_baseline(), quick());
+        r2.set_st_cache_path(&path);
+        let cached = r2
+            .st_cache
+            .lock()
+            .unwrap()
+            .get(&(Benchmark::Gzip, quick().seed))
+            .copied();
+        assert_eq!(cached.map(f64::to_bits), Some(ipc.to_bits()));
+
+        // Different hardware: the fingerprint mismatch rejects the file.
+        let mut cfg = SmtConfig::hpca2008_baseline();
+        cfg.int_regs = 256;
+        let mut r3 = Runner::new(cfg, quick());
+        r3.set_st_cache_path(&path);
+        assert!(r3.st_cache.lock().unwrap().is_empty());
+
+        // Different methodology rejects it too.
+        let mut other = quick();
+        other.insts_per_thread += 1;
+        let mut r4 = Runner::new(SmtConfig::hpca2008_baseline(), other);
+        r4.set_st_cache_path(&path);
+        assert!(r4.st_cache.lock().unwrap().is_empty());
+
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn st_cache_ignores_garbage_files() {
+        let path =
+            std::env::temp_dir().join(format!("rat_st_cache_garbage_{}.txt", std::process::id()));
+        std::fs::write(&path, "not a cache\nfingerprint zzz\ngzip nan nan\n").unwrap();
+        let mut r = Runner::new(SmtConfig::hpca2008_baseline(), quick());
+        r.set_st_cache_path(&path);
+        assert!(r.st_cache.lock().unwrap().is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncated_runs_warn_and_count_incomplete() {
+        // A quota far beyond what max_cycles allows: the run truncates.
+        let run = RunConfig {
+            insts_per_thread: 10_000_000,
+            warmup_insts: 100,
+            max_cycles: 5_000,
+            seed: 7,
+            no_skip: false,
+        };
+        let runner = Runner::new(SmtConfig::hpca2008_baseline(), run);
+        let mix = &mixes_for_group(WorkloadGroup::Ilp2)[0];
+        let r = runner.run_mix(mix, PolicyKind::Icount);
+        assert!(!r.complete);
+        let s = runner.summarize(&[r]);
+        assert_eq!(s.mixes, 1);
+        assert_eq!(s.incomplete, 1, "truncated mix must be counted");
     }
 
     #[test]

@@ -174,6 +174,15 @@ impl MemEventQueue {
         ready
     }
 
+    /// The completion cycle of the earliest scheduled-but-undrained
+    /// transfer, if any. This is the memory system's next wakeup point:
+    /// a discrete-event driver can jump the clock here when every core
+    /// structure is quiescent, because nothing in the memory system
+    /// changes state before this cycle.
+    pub fn next_ready_cycle(&self) -> Option<Cycle> {
+        self.pending.peek().map(|&Reverse((ready, _))| ready)
+    }
+
     /// Retires every pending event with `ready_cycle <= now`, in
     /// `(ready_cycle, seq)` order. Returns the number retired.
     pub fn drain(&mut self, now: Cycle) -> usize {
@@ -265,6 +274,21 @@ mod tests {
         q.reserve_bus(8);
         assert_eq!(q.drain(3), 0);
         assert_eq!(q.drain(8), 2);
+    }
+
+    #[test]
+    fn next_ready_cycle_tracks_earliest_pending() {
+        let mut q = MemEventQueue::new(0, 4);
+        assert_eq!(q.next_ready_cycle(), None, "idle queue has no wakeup");
+        let a = q.reserve_bus(100);
+        let b = q.reserve_bus(50);
+        assert_eq!(a, 100);
+        assert_eq!(b, 100 + 4, "FIFO: later request queues behind");
+        assert_eq!(q.next_ready_cycle(), Some(100), "earliest completion");
+        q.drain(100);
+        assert_eq!(q.next_ready_cycle(), Some(104));
+        q.drain(104);
+        assert_eq!(q.next_ready_cycle(), None, "drained queue is idle again");
     }
 
     #[test]

@@ -182,6 +182,14 @@ impl Hierarchy {
         self.events.in_flight_transfers(now)
     }
 
+    /// The completion cycle of the earliest in-flight memory-bus
+    /// transfer, if any (see [`MemEventQueue::next_ready_cycle`]). Used
+    /// by the cycle-skipping simulator core as one bound on how far the
+    /// clock may jump.
+    pub fn next_ready_cycle(&self) -> Option<Cycle> {
+        self.events.next_ready_cycle()
+    }
+
     /// Instruction fetch at `addr` (already thread-tagged).
     pub fn fetch_access(&mut self, addr: u64, now: Cycle) -> AccessResult {
         self.level_access(addr, AccessKind::InstFetch, now)

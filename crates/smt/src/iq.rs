@@ -5,6 +5,15 @@
 //! this module owns (a) the occupancy counters that bound dispatch, (b)
 //! the physical-register wakeup lists, and (c) per-queue ready heaps that
 //! yield issuable instructions oldest-first.
+//!
+//! Wakeup lists are stored as intrusive singly-linked chains through one
+//! shared node pool with a freelist, instead of one `Vec` per physical
+//! register: registering a waiter and draining a wakeup are both
+//! pointer-bumps into memory that is already hot, and the steady state
+//! performs zero allocation (nodes recycle through the freelist). The
+//! drain order is per-register LIFO, which is immaterial to the
+//! simulation: woken candidates are re-ranked by the age-ordered ready
+//! heaps, whose keys (`gseq`) are unique.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -16,6 +25,18 @@ use crate::types::{IqKind, PhysReg, RegClass, ThreadId};
 /// candidates after squashes.
 pub type ReadyKey = (u64, ThreadId, u64);
 
+/// Null link in the pooled wakeup chains.
+const NIL: u32 = u32::MAX;
+
+/// One pooled wakeup-list node: a waiter and its chain link.
+#[derive(Clone, Copy, Debug)]
+struct WaiterNode {
+    tid: ThreadId,
+    seq: u64,
+    gseq: u64,
+    next: u32,
+}
+
 /// The three issue queues plus wakeup machinery.
 #[derive(Clone, Debug)]
 pub struct IssueQueues {
@@ -23,8 +44,14 @@ pub struct IssueQueues {
     occupancy: [usize; 3],
     per_thread: Vec<[usize; 3]>,
     ready: [BinaryHeap<Reverse<ReadyKey>>; 3],
-    wake_int: Vec<Vec<(ThreadId, u64, u64)>>,
-    wake_fp: Vec<Vec<(ThreadId, u64, u64)>>,
+    /// Chain head per physical register: INT registers first, then FP.
+    wake_heads: Vec<u32>,
+    /// Offset of the FP region in `wake_heads`.
+    int_regs: usize,
+    /// Shared node pool for every wakeup chain.
+    nodes: Vec<WaiterNode>,
+    /// Head of the recycled-node freelist.
+    free_head: u32,
 }
 
 impl IssueQueues {
@@ -36,8 +63,10 @@ impl IssueQueues {
             occupancy: [0; 3],
             per_thread: vec![[0; 3]; num_threads],
             ready: Default::default(),
-            wake_int: vec![Vec::new(); int_regs],
-            wake_fp: vec![Vec::new(); fp_regs],
+            wake_heads: vec![NIL; int_regs + fp_regs],
+            int_regs,
+            nodes: Vec::new(),
+            free_head: NIL,
         }
     }
 
@@ -77,22 +106,63 @@ impl IssueQueues {
         self.per_thread[tid][kind.index()] -= 1;
     }
 
-    /// Registers a waiter: the instruction `(tid, seq, gseq)` needs
-    /// register `(class, p)` to become ready.
-    pub fn add_waiter(&mut self, class: RegClass, p: PhysReg, tid: ThreadId, seq: u64, gseq: u64) {
+    /// Index of `(class, p)`'s chain head in `wake_heads`.
+    #[inline]
+    fn head_slot(&self, class: RegClass, p: PhysReg) -> usize {
         match class {
-            RegClass::Int => self.wake_int[p].push((tid, seq, gseq)),
-            RegClass::Fp => self.wake_fp[p].push((tid, seq, gseq)),
+            RegClass::Int => p,
+            RegClass::Fp => self.int_regs + p,
         }
     }
 
-    /// Drains the waiters of `(class, p)` — called when the register's
-    /// value is produced. The caller decrements each waiter's count and
-    /// requeues the ready ones.
-    pub fn take_waiters(&mut self, class: RegClass, p: PhysReg) -> Vec<(ThreadId, u64, u64)> {
-        match class {
-            RegClass::Int => std::mem::take(&mut self.wake_int[p]),
-            RegClass::Fp => std::mem::take(&mut self.wake_fp[p]),
+    /// Registers a waiter: the instruction `(tid, seq, gseq)` needs
+    /// register `(class, p)` to become ready.
+    pub fn add_waiter(&mut self, class: RegClass, p: PhysReg, tid: ThreadId, seq: u64, gseq: u64) {
+        let slot = self.head_slot(class, p);
+        let next = self.wake_heads[slot];
+        let idx = if self.free_head != NIL {
+            let idx = self.free_head;
+            let node = &mut self.nodes[idx as usize];
+            self.free_head = node.next;
+            *node = WaiterNode {
+                tid,
+                seq,
+                gseq,
+                next,
+            };
+            idx
+        } else {
+            let idx = self.nodes.len() as u32;
+            self.nodes.push(WaiterNode {
+                tid,
+                seq,
+                gseq,
+                next,
+            });
+            idx
+        };
+        self.wake_heads[slot] = idx;
+    }
+
+    /// Drains the waiters of `(class, p)` into `out` (cleared first) —
+    /// called when the register's value is produced. The chain's nodes
+    /// return to the freelist; the caller decrements each waiter's count
+    /// and requeues the ready ones.
+    pub fn take_waiters_into(
+        &mut self,
+        class: RegClass,
+        p: PhysReg,
+        out: &mut Vec<(ThreadId, u64, u64)>,
+    ) {
+        out.clear();
+        let slot = self.head_slot(class, p);
+        let mut cur = std::mem::replace(&mut self.wake_heads[slot], NIL);
+        while cur != NIL {
+            let node = self.nodes[cur as usize];
+            out.push((node.tid, node.seq, node.gseq));
+            self.nodes[cur as usize].next = self.free_head;
+            self.free_head = cur;
+            cur = node.next;
         }
     }
 
@@ -106,6 +176,13 @@ impl IssueQueues {
     /// squashed).
     pub fn pop_ready(&mut self, kind: IqKind) -> Option<ReadyKey> {
         self.ready[kind.index()].pop().map(|Reverse(k)| k)
+    }
+
+    /// Whether any queue holds a ready (or possibly-stale) candidate.
+    /// While this is true the issue stage has per-cycle work to do —
+    /// popping, validating, retrying — so the clock may not skip.
+    pub fn any_ready_candidates(&self) -> bool {
+        self.ready.iter().any(|h| !h.is_empty())
     }
 
     /// Number of pending ready candidates (including possibly-stale ones).
@@ -135,24 +212,62 @@ mod tests {
     #[test]
     fn ready_pops_oldest_first() {
         let mut iq = IssueQueues::new([4, 4, 4], 1, 8, 8);
+        assert!(!iq.any_ready_candidates());
         iq.push_ready(IqKind::Ls, 30, 0, 3);
         iq.push_ready(IqKind::Ls, 10, 0, 1);
         iq.push_ready(IqKind::Ls, 20, 0, 2);
+        assert!(iq.any_ready_candidates());
         assert_eq!(iq.pop_ready(IqKind::Ls).unwrap().0, 10);
         assert_eq!(iq.pop_ready(IqKind::Ls).unwrap().0, 20);
         assert_eq!(iq.pop_ready(IqKind::Ls).unwrap().0, 30);
         assert!(iq.pop_ready(IqKind::Ls).is_none());
+        assert!(!iq.any_ready_candidates());
     }
 
     #[test]
     fn waiters_drain_once() {
         let mut iq = IssueQueues::new([4, 4, 4], 1, 8, 8);
+        let mut out = Vec::new();
         iq.add_waiter(RegClass::Int, 3, 0, 7, 70);
         iq.add_waiter(RegClass::Int, 3, 0, 8, 80);
         iq.add_waiter(RegClass::Fp, 3, 0, 9, 90);
-        let int_waiters = iq.take_waiters(RegClass::Int, 3);
-        assert_eq!(int_waiters.len(), 2);
-        assert!(iq.take_waiters(RegClass::Int, 3).is_empty());
-        assert_eq!(iq.take_waiters(RegClass::Fp, 3).len(), 1);
+        iq.take_waiters_into(RegClass::Int, 3, &mut out);
+        assert_eq!(out.len(), 2);
+        iq.take_waiters_into(RegClass::Int, 3, &mut out);
+        assert!(out.is_empty());
+        iq.take_waiters_into(RegClass::Fp, 3, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0], (0, 9, 90));
+    }
+
+    #[test]
+    fn freelist_recycles_nodes() {
+        let mut iq = IssueQueues::new([4, 4, 4], 1, 8, 8);
+        let mut out = Vec::new();
+        for round in 0..100u64 {
+            for w in 0..5 {
+                iq.add_waiter(RegClass::Int, (w % 8) as PhysReg, 0, round, round * 10 + w);
+            }
+            for p in 0..8 {
+                iq.take_waiters_into(RegClass::Int, p, &mut out);
+            }
+        }
+        assert!(
+            iq.nodes.len() <= 5,
+            "pool must not grow past the peak live waiter count, got {}",
+            iq.nodes.len()
+        );
+    }
+
+    #[test]
+    fn int_and_fp_chains_are_disjoint() {
+        let mut iq = IssueQueues::new([4, 4, 4], 2, 8, 8);
+        let mut out = Vec::new();
+        iq.add_waiter(RegClass::Int, 5, 0, 1, 10);
+        iq.add_waiter(RegClass::Fp, 5, 1, 2, 20);
+        iq.take_waiters_into(RegClass::Int, 5, &mut out);
+        assert_eq!(out, vec![(0, 1, 10)]);
+        iq.take_waiters_into(RegClass::Fp, 5, &mut out);
+        assert_eq!(out, vec![(1, 2, 20)]);
     }
 }

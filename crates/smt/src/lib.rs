@@ -49,6 +49,7 @@ mod regfile;
 mod rename;
 mod rob;
 mod stats;
+mod store_set;
 mod types;
 
 pub use config::{RunaheadConfig, RunaheadVariant, SmtConfig};

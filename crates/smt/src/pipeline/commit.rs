@@ -7,10 +7,32 @@
 //! reaches the window head, making the architectural map the
 //! checkpoint).
 
-use crate::rob::EntryState;
-use crate::types::{ExecMode, ThreadId};
+use crate::config::SmtConfig;
+use crate::rob::{EntryState, RobEntry};
+use crate::types::{Cycle, ExecMode, ThreadId};
 
-use super::{runahead, SmtSimulator};
+use super::{runahead, SmtSimulator, Thread};
+
+/// Whether `front` — the ROB head of a normal-mode thread — triggers
+/// runahead entry at cycle `at`. Shared between the commit stage (with
+/// `at = now`) and the cycle-skip predicate (with `at = now + 1`); note
+/// the condition can only decay as `at` grows (the fill gets closer), so
+/// a head that is ineligible next cycle stays ineligible for the rest of
+/// a quiescent span.
+pub(super) fn entry_eligible(
+    cfg: &SmtConfig,
+    thread: &Thread,
+    front: &RobEntry,
+    at: Cycle,
+) -> bool {
+    cfg.policy.uses_runahead()
+        && front.is_load()
+        && front.state == EntryState::Executing
+        && front.l2_miss
+        && front.ready_at > at + cfg.runahead.entry_threshold
+        && !front.inv
+        && !thread.no_retrigger.contains(&front.seq)
+}
 
 /// Runs the commit stage for one cycle.
 pub(super) fn run(sim: &mut SmtSimulator) {
@@ -35,14 +57,7 @@ pub(super) fn run(sim: &mut SmtSimulator) {
                         ExecMode::Normal => {
                             if front.state == EntryState::Done {
                                 Action::Commit
-                            } else if sim.cfg.policy.uses_runahead()
-                                && front.is_load()
-                                && front.state == EntryState::Executing
-                                && front.l2_miss
-                                && front.ready_at > sim.now + sim.cfg.runahead.entry_threshold
-                                && !front.inv
-                                && !thread.no_retrigger.contains(&front.seq)
-                            {
+                            } else if entry_eligible(&sim.cfg, thread, front, sim.now) {
                                 Action::EnterRunahead
                             } else {
                                 Action::Stop

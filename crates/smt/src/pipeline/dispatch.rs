@@ -1,6 +1,12 @@
 //! Dispatch/rename stage: in-order per-thread rename and resource
 //! allocation, runahead folding of INV instructions, and the DCRA/Hill
 //! dispatch gates (via `SharedResources::allows_dispatch`).
+//!
+//! The gate logic is factored into the side-effect-free [`decide`], which
+//! both the stage itself and the cycle-skipping driver consult — the
+//! skip predicate must know whether a thread *could* dispatch without
+//! actually dispatching, and sharing the decision function keeps the two
+//! paths incapable of drifting apart.
 
 use rat_isa::{ArchReg, Instruction, InstructionKind};
 
@@ -99,79 +105,154 @@ pub(super) fn run(sim: &mut SmtSimulator) {
     }
 }
 
-/// Attempts to rename+dispatch the next fetched instruction of `tid`.
-/// Returns `false` on a resource or policy stall (in-order dispatch:
-/// the thread stops for this cycle).
-fn try_dispatch_one(sim: &mut SmtSimulator, tid: ThreadId) -> bool {
-    let f = *sim.threads[tid].frontend.front().expect("checked");
-    let kind = f.rec.inst.kind();
-    let iq_kind = iq_kind(kind);
-    let dst_arch = dst_reg(&f.rec.inst);
-    let srcs_arch = src_regs(&f.rec.inst);
-    let runahead = sim.threads[tid].mode == ExecMode::Runahead;
+/// What dispatch would do with the head instruction of `tid` this cycle,
+/// computed without mutating any state. (The head's `ready_at` timing is
+/// the caller's concern.)
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(super) enum DispatchDecision {
+    /// Resource or policy stall: in-order dispatch, the thread stops.
+    Blocked,
+    /// Runahead folding (paper §3.2/§3.3): consumed at rename, no
+    /// back-end resources.
+    Fold,
+    /// Full rename + resource allocation.
+    Dispatch,
+}
 
-    // --- runahead folding (paper §3.2/§3.3) ---
-    if runahead {
-        // INV sources at rename: for loads/stores only the address
-        // matters (INV store *data* still prefetches); for everything
-        // else any INV source folds the instruction.
-        let fold_srcs: &[Option<ArchReg>] = match kind {
-            InstructionKind::Load | InstructionKind::Store => &srcs_arch[..1],
-            _ => &srcs_arch[..],
+/// The once-per-attempt static decode of a fetched instruction: both
+/// the gate and the mutating dispatch paths consume this, so the
+/// operand/queue classification happens exactly once.
+struct Decoded {
+    kind: InstructionKind,
+    iq_kind: Option<IqKind>,
+    dst_arch: Option<ArchReg>,
+    srcs_arch: [Option<ArchReg>; 2],
+}
+
+fn decode(f: &Fetched) -> Decoded {
+    let kind = f.rec.inst.kind();
+    Decoded {
+        kind,
+        iq_kind: iq_kind(kind),
+        dst_arch: dst_reg(&f.rec.inst),
+        srcs_arch: src_regs(&f.rec.inst),
+    }
+}
+
+/// The side-effect-free dispatch gate for `tid`'s frontend head.
+pub(super) fn decide(sim: &SmtSimulator, tid: ThreadId) -> DispatchDecision {
+    let Some(f) = sim.threads[tid].frontend.front() else {
+        return DispatchDecision::Blocked;
+    };
+    gate(sim, tid, f, &decode(f))
+}
+
+/// The gate logic over an already-decoded head instruction.
+fn gate(sim: &SmtSimulator, tid: ThreadId, f: &Fetched, d: &Decoded) -> DispatchDecision {
+    if sim.threads[tid].mode == ExecMode::Runahead && folds_in_runahead(sim, tid, f, d) {
+        // A folded instruction still needs a ROB slot.
+        return if sim.res.rob_occupancy >= sim.cfg.rob_size {
+            DispatchDecision::Blocked
+        } else {
+            DispatchDecision::Fold
         };
-        let src_inv = fold_srcs
-            .iter()
-            .flatten()
-            .any(|r| sim.threads[tid].arch_inv[r.flat_index()]);
-        let drop_fp = sim.cfg.runahead.drop_fp && f.rec.inst.is_fp_compute();
-        // Synchronization instructions are ignored in runahead (§3.3).
-        let is_fence = matches!(f.rec.inst, Instruction::Fence);
-        if src_inv || drop_fp || is_fence {
-            if sim.res.rob_occupancy >= sim.cfg.rob_size {
-                return false;
-            }
-            sim.threads[tid].frontend.pop_front();
-            if let Some(arch) = dst_arch {
-                sim.threads[tid].arch_inv[arch.flat_index()] = true;
-            }
-            if kind == InstructionKind::Branch {
-                // An INV branch follows the predicted path; if the
-                // prediction disagrees with the correct path, the
-                // runahead thread diverges (§3.1 "most likely path").
-                if f.predicted != Some(f.rec.taken) && !sim.threads[tid].diverged {
-                    sim.threads[tid].diverged = true;
-                    sim.stats.threads[tid].runahead_divergences += 1;
-                }
-                if sim.threads[tid].branch_gate == Some(f.rec.seq) {
-                    sim.threads[tid].branch_gate = None;
-                }
-            }
-            push_folded_entry(sim, tid, &f);
-            return true;
-        }
     }
 
     // --- resource checks ---
     if sim.res.rob_occupancy >= sim.cfg.rob_size {
-        return false;
+        return DispatchDecision::Blocked;
     }
-    if let Some(k) = iq_kind {
+    if let Some(k) = d.iq_kind {
         if !sim.res.iqs.has_space(k) {
-            return false;
+            return DispatchDecision::Blocked;
         }
     }
-    if let Some(arch) = dst_arch {
+    if let Some(arch) = d.dst_arch {
         let class = reg_class(arch);
         if sim.res.rf_ref(class).free_count() == 0 {
-            return false;
+            return DispatchDecision::Blocked;
         }
     }
     if !sim
         .res
-        .allows_dispatch(&sim.cfg, &sim.threads, tid, iq_kind, dst_arch)
+        .allows_dispatch(&sim.cfg, &sim.threads, tid, d.iq_kind, d.dst_arch)
     {
-        return false;
+        return DispatchDecision::Blocked;
     }
+    DispatchDecision::Dispatch
+}
+
+/// Whether `f` folds at rename during runahead: INV sources (for
+/// loads/stores only the address matters — INV store *data* still
+/// prefetches), dropped FP computation, or a fence (synchronization is
+/// ignored in runahead, §3.3).
+fn folds_in_runahead(sim: &SmtSimulator, tid: ThreadId, f: &Fetched, d: &Decoded) -> bool {
+    let fold_srcs: &[Option<ArchReg>] = match d.kind {
+        InstructionKind::Load | InstructionKind::Store => &d.srcs_arch[..1],
+        _ => &d.srcs_arch[..],
+    };
+    let src_inv = fold_srcs
+        .iter()
+        .flatten()
+        .any(|r| sim.threads[tid].arch_inv[r.flat_index()]);
+    let drop_fp = sim.cfg.runahead.drop_fp && f.rec.inst.is_fp_compute();
+    let is_fence = matches!(f.rec.inst, Instruction::Fence);
+    src_inv || drop_fp || is_fence
+}
+
+/// Attempts to rename+dispatch the next fetched instruction of `tid`.
+/// Returns `false` on a resource or policy stall (in-order dispatch:
+/// the thread stops for this cycle).
+fn try_dispatch_one(sim: &mut SmtSimulator, tid: ThreadId) -> bool {
+    let Some(f) = sim.threads[tid].frontend.front() else {
+        return false;
+    };
+    let f = *f;
+    let d = decode(&f);
+    match gate(sim, tid, &f, &d) {
+        DispatchDecision::Blocked => false,
+        DispatchDecision::Fold => {
+            fold_one(sim, tid, &d);
+            true
+        }
+        DispatchDecision::Dispatch => {
+            dispatch_one(sim, tid, &d);
+            true
+        }
+    }
+}
+
+/// Consumes the head instruction as a folded (INV) runahead entry.
+fn fold_one(sim: &mut SmtSimulator, tid: ThreadId, d: &Decoded) {
+    let f = sim.threads[tid].frontend.pop_front().expect("checked");
+    if let Some(arch) = d.dst_arch {
+        sim.threads[tid].arch_inv[arch.flat_index()] = true;
+    }
+    if d.kind == InstructionKind::Branch {
+        // An INV branch follows the predicted path; if the
+        // prediction disagrees with the correct path, the
+        // runahead thread diverges (§3.1 "most likely path").
+        if f.predicted != Some(f.rec.taken) && !sim.threads[tid].diverged {
+            sim.threads[tid].diverged = true;
+            sim.stats.threads[tid].runahead_divergences += 1;
+        }
+        if sim.threads[tid].branch_gate == Some(f.rec.seq) {
+            sim.threads[tid].branch_gate = None;
+        }
+    }
+    push_folded_entry(sim, tid, &f);
+}
+
+/// Renames and allocates the head instruction (every gate in [`gate`]
+/// has passed).
+fn dispatch_one(sim: &mut SmtSimulator, tid: ThreadId, d: &Decoded) {
+    let runahead = sim.threads[tid].mode == ExecMode::Runahead;
+    let &Decoded {
+        kind,
+        iq_kind,
+        dst_arch,
+        srcs_arch,
+    } = d;
 
     // --- rename & allocate ---
     let f = sim.threads[tid].frontend.pop_front().expect("checked");
@@ -258,7 +339,6 @@ fn try_dispatch_one(sim: &mut SmtSimulator, tid: ThreadId) -> bool {
             sim.res.iqs.push_ready(k, gseq, tid, seq);
         }
     }
-    true
 }
 
 #[inline]

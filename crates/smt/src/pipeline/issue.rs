@@ -33,9 +33,12 @@ fn exec_latency(kind: InstructionKind) -> Cycle {
 /// Runs the issue stage for one cycle.
 pub(super) fn run(sim: &mut SmtSimulator) {
     let mut budget = sim.cfg.width;
+    // Pipeline-owned retry scratch: taken for the stage, handed back at
+    // the end so its capacity is reused every cycle.
+    let mut retries = std::mem::take(&mut sim.res.retry_scratch);
     for kind in [IqKind::Int, IqKind::Fp, IqKind::Ls] {
         let mut fu = sim.cfg.fu_count[kind.index()];
-        let mut retries: Vec<(u64, ThreadId, u64)> = Vec::new();
+        retries.clear();
         // Bound the scheduler scan per queue per cycle: a rejected
         // (MSHR-full) load is set aside without consuming an issue
         // port, so one thread's blocked misses cannot starve another
@@ -64,10 +67,12 @@ pub(super) fn run(sim: &mut SmtSimulator) {
                 }
             }
         }
-        for (gseq, tid, seq) in retries {
+        for &(gseq, tid, seq) in &retries {
             sim.res.iqs.push_ready(kind, gseq, tid, seq);
         }
     }
+    retries.clear();
+    sim.res.retry_scratch = retries;
 }
 
 fn issue_one(sim: &mut SmtSimulator, tid: ThreadId, seq: u64) -> IssueOutcome {
@@ -165,7 +170,7 @@ fn issue_load(
         return Some(sim.now + 1);
     }
     // Store→load forwarding (word-granular, oracle addresses).
-    if sim.threads[tid].store_addrs.contains_key(&(addr & !7)) {
+    if sim.threads[tid].store_addrs.contains(addr & !7) {
         sim.stats.threads[tid].forwarded_loads += 1;
         return Some(sim.now + dlat);
     }

@@ -38,17 +38,18 @@ mod runahead;
 #[cfg(test)]
 mod tests;
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashSet, VecDeque};
 
 use rat_bpred::GlobalHistory;
 use rat_isa::{ExecRecord, Pc};
 use rat_mem::Hierarchy;
 
-use crate::config::SmtConfig;
+use crate::config::{RunaheadVariant, SmtConfig};
 use crate::frontend::OracleThread;
 use crate::rename::RenameTables;
-use crate::rob::ThreadRob;
+use crate::rob::{EntryState, ThreadRob};
 use crate::stats::{SimStats, ThreadStats};
+use crate::store_set::StoreSet;
 use crate::types::{Cycle, ExecMode, IqKind, PhysReg, RegClass, ThreadId};
 
 use resources::SharedResources;
@@ -93,8 +94,10 @@ struct Thread {
     branch_gate: Option<u64>,
     /// Fetch blocked until this cycle by STALL/FLUSH long-latency gating.
     longlat_gate: Cycle,
-    /// In-flight store addresses (word-granular) for store→load forwarding.
-    store_addrs: HashMap<u64, u32>,
+    /// In-flight store addresses (word-granular) for store→load
+    /// forwarding — an open-addressed counting table: this is probed on
+    /// every load issue, the hottest lookup in the back end.
+    store_addrs: StoreSet,
     hist: GlobalHistory,
     dmiss_inflight: usize,
     fp_user: bool,
@@ -124,18 +127,12 @@ impl Thread {
 
     /// Registers an in-flight store for store→load forwarding.
     fn add_store_addr(&mut self, addr: u64) {
-        *self.store_addrs.entry(addr & !7).or_insert(0) += 1;
+        self.store_addrs.insert(addr & !7);
     }
 
     /// Drops one in-flight store (commit, pseudo-retire, squash).
     fn remove_store_addr(&mut self, addr: u64) {
-        let word = addr & !7;
-        if let Some(c) = self.store_addrs.get_mut(&word) {
-            *c -= 1;
-            if *c == 0 {
-                self.store_addrs.remove(&word);
-            }
-        }
+        self.store_addrs.remove(addr & !7);
     }
 
     /// Whether any front-end gate (I-cache refill, unresolved
@@ -170,6 +167,9 @@ pub struct SmtSimulator {
     stats: SimStats,
     now: Cycle,
     last_progress: Cycle,
+    /// Event-driven fast-forwarding over dead cycles (default on; see
+    /// [`SmtSimulator::set_cycle_skip`]).
+    skip_enabled: bool,
 }
 
 impl SmtSimulator {
@@ -216,7 +216,7 @@ impl SmtSimulator {
                 icache_wait: 0,
                 branch_gate: None,
                 longlat_gate: 0,
-                store_addrs: HashMap::new(),
+                store_addrs: StoreSet::with_capacity(64),
                 hist: GlobalHistory::new(),
                 dmiss_inflight: 0,
                 fp_user: false,
@@ -232,10 +232,24 @@ impl SmtSimulator {
             },
             now: 0,
             last_progress: 0,
+            skip_enabled: true,
             threads,
             res,
             cfg,
         }
+    }
+
+    /// Enables or disables cycle skipping (on by default).
+    ///
+    /// With skipping on, [`SmtSimulator::run_until_quota`] jumps the
+    /// clock over *dead* cycles — cycles in which no thread can fetch,
+    /// dispatch, issue, commit, or be woken by any pending event — in one
+    /// hop, charging the skipped span to the same per-cycle counters the
+    /// stepped path updates. All statistics are bit-identical either
+    /// way (the `tests/cycle_skip.rs` suite enforces this); `false` is
+    /// the `--no-skip` ablation reference.
+    pub fn set_cycle_skip(&mut self, enabled: bool) {
+        self.skip_enabled = enabled;
     }
 
     /// Number of hardware threads.
@@ -324,7 +338,156 @@ impl SmtSimulator {
             if self.now >= deadline {
                 return false;
             }
+            if self.skip_enabled {
+                self.skip_dead_cycles(deadline);
+            }
         }
+    }
+
+    // ---- event-driven cycle skipping ----
+
+    /// Fast-forwards over dead cycles: if the machine is quiescent (the
+    /// next cycle would advance nothing but the clock), jumps straight
+    /// to the cycle before the next *interesting* one, so the following
+    /// [`SmtSimulator::cycle`] lands exactly on it. Never jumps to or
+    /// past `deadline` — the stepped path executes its final cycle at
+    /// the deadline, and the jump preserves that.
+    fn skip_dead_cycles(&mut self, deadline: Cycle) {
+        let Some(next) = self.next_interesting_cycle() else {
+            return;
+        };
+        let target = next.min(deadline) - 1;
+        if target > self.now {
+            self.bulk_advance(target);
+        }
+    }
+
+    /// The earliest cycle after `now` at which any pipeline stage can do
+    /// work, or `None` if the next cycle is already interesting (or no
+    /// wakeup event exists at all, in which case the caller falls back
+    /// to stepping and the deadlock check fires as usual).
+    ///
+    /// Quiescence argument: between events, every stage's gate is frozen
+    /// — resources are only freed by completions/commits, fetch gates
+    /// only clear by time or branch resolution (a completion), DCRA
+    /// inputs only change at completions, Hill shares only change at
+    /// epoch boundaries — so a cycle in which no stage can act is
+    /// followed by dead cycles until the earliest timed wakeup, which
+    /// this function enumerates exhaustively:
+    ///
+    /// * the completion heap head (writeback / branch resolution),
+    /// * the memory event queue's next fill ([`Hierarchy::next_ready_cycle`]),
+    /// * runahead episode exits,
+    /// * frontend refill availability (`Fetched::ready_at` of each head),
+    /// * fetch gate expiry (I-cache refills, STALL/FLUSH gates),
+    /// * the Hill-Climbing epoch boundary.
+    fn next_interesting_cycle(&self) -> Option<Cycle> {
+        // The cycle under consideration: the one `cycle()` would run next.
+        let at = self.now + 1;
+        // Pending ready candidates (including stale entries and MSHR
+        // retries) give the issue stage per-cycle work — popping,
+        // validating, re-probing the cache — that mutates state.
+        if self.res.iqs.any_ready_candidates() {
+            return None;
+        }
+        let mut next = Cycle::MAX;
+
+        if let Some(ready) = self.res.peek_completion() {
+            if ready <= at {
+                return None;
+            }
+            next = next.min(ready);
+        }
+        // The memory system wakes itself lazily (transfers drain on the
+        // next access), but its next fill bounds the jump conservatively.
+        if let Some(ready) = self.res.hier.next_ready_cycle() {
+            if ready > at {
+                next = next.min(ready);
+            }
+        }
+
+        for (tid, t) in self.threads.iter().enumerate() {
+            // Runahead episode exit.
+            if let Some(ep) = t.episode {
+                if ep.exit_at <= at {
+                    return None;
+                }
+                next = next.min(ep.exit_at);
+            }
+            // Commit head: retirement, pseudo-retirement, runahead entry.
+            if let Some(front) = t.rob.front() {
+                if front.state == EntryState::Done {
+                    return None;
+                }
+                if t.mode == ExecMode::Normal && commit::entry_eligible(&self.cfg, t, front, at) {
+                    return None;
+                }
+            }
+            // Dispatch: the head either acts, waits out the front-end
+            // depth (timed), or is blocked on frozen resources/policy.
+            if let Some(f) = t.frontend.front() {
+                if f.ready_at > at {
+                    next = next.min(f.ready_at);
+                } else if dispatch::decide(self, tid) != dispatch::DispatchDecision::Blocked {
+                    return None;
+                }
+            }
+            // Fetch: untimed blocks (full buffer, unresolved
+            // misprediction, NoFetch-runahead) persist until an event
+            // already accounted above; otherwise the thread resumes at
+            // its latest time gate.
+            let untimed_blocked = t.frontend.len() >= self.cfg.fetch_buffer
+                || t.branch_gate.is_some()
+                || (t.mode == ExecMode::Runahead
+                    && self.cfg.runahead.variant == RunaheadVariant::NoFetch);
+            if !untimed_blocked {
+                let gate = t.icache_wait.max(t.longlat_gate);
+                if gate <= at {
+                    return None; // fetchable next cycle
+                }
+                next = next.min(gate);
+            }
+        }
+
+        // Hill shares can change (and unblock dispatch) only at an epoch
+        // boundary; never jump past one.
+        if let Some(hill) = &self.res.hill {
+            let boundary = hill.next_boundary();
+            if boundary <= at {
+                return None;
+            }
+            next = next.min(boundary);
+        }
+
+        (next != Cycle::MAX).then_some(next)
+    }
+
+    /// Jumps the clock to `to` (exclusive of any stage work), charging
+    /// the skipped span to exactly the per-cycle state the stepped path
+    /// would have touched: the mode/register occupancy counters and the
+    /// round-robin rotation pointers, which advance unconditionally once
+    /// per cycle in every stage.
+    fn bulk_advance(&mut self, to: Cycle) {
+        let k = to - self.now;
+        let n = self.threads.len();
+        self.now = to;
+        self.stats.cycles = self.now;
+        self.stats.skipped_cycles += k;
+        self.stats.skip_spans += 1;
+        self.res.commit_rr = (self.res.commit_rr + k as usize) % n;
+        self.res.dispatch_rr = (self.res.dispatch_rr + k as usize) % n;
+        self.res.fetch_rr = self.res.fetch_rr.wrapping_add(k as usize);
+        for tid in 0..n {
+            let m = self.threads[tid].mode.index();
+            let ts = &mut self.stats.threads[tid];
+            ts.mode_cycles[m] += k;
+            ts.int_reg_cycles[m] += k * self.res.int_rf.allocated(tid) as u64;
+            ts.fp_reg_cycles[m] += k * self.res.fp_rf.allocated(tid) as u64;
+        }
+        // `stats.mem_events` needs no update: a dead span performs no
+        // hierarchy access, so the per-cycle mirror would re-copy the
+        // same value. Hill's `on_cycle` is a no-op strictly before its
+        // epoch boundary, which bounds every jump.
     }
 
     /// Advances the pipeline one cycle.

@@ -18,7 +18,7 @@ use rat_isa::ArchReg;
 use rat_mem::Hierarchy;
 
 use crate::config::SmtConfig;
-use crate::iq::IssueQueues;
+use crate::iq::{IssueQueues, ReadyKey};
 use crate::policy::{dcra_caps, dcra_weight, HillState, PolicyKind};
 use crate::regfile::PhysRegFile;
 use crate::rob::EntryState;
@@ -44,6 +44,17 @@ pub(super) struct SharedResources {
     pub(super) fetch_rr: usize,
     pub(super) hill: Option<HillState>,
     pub(super) dcra_slow_weight: f64,
+    /// Reusable scratch for the issue stage's per-cycle retry set (MSHR
+    /// rejections put back after the select loop). Capacity persists
+    /// across cycles so the steady state allocates nothing.
+    pub(super) retry_scratch: Vec<ReadyKey>,
+    /// Reusable scratch for runahead entry's in-flight L2-miss
+    /// conversions.
+    pub(super) conv_scratch: Vec<(RegClass, PhysReg, Option<ArchReg>)>,
+    /// Reusable scratch for runahead entry's episode register sweep.
+    pub(super) dst_scratch: Vec<(RegClass, PhysReg)>,
+    /// Reusable scratch for draining wakeup chains in `wake_register`.
+    waiter_scratch: Vec<(ThreadId, u64, u64)>,
 }
 
 impl SharedResources {
@@ -68,6 +79,10 @@ impl SharedResources {
             fetch_rr: 0,
             hill,
             dcra_slow_weight: 4.0,
+            retry_scratch: Vec::new(),
+            conv_scratch: Vec::new(),
+            dst_scratch: Vec::new(),
+            waiter_scratch: Vec::new(),
         }
     }
 
@@ -117,6 +132,12 @@ impl SharedResources {
         Some((tid, seq, gseq))
     }
 
+    /// The due cycle of the earliest pending completion event, if any —
+    /// one bound on how far the cycle-skipping driver may jump the clock.
+    pub(super) fn peek_completion(&self) -> Option<Cycle> {
+        self.completions.peek().map(|&Reverse((ready, ..))| ready)
+    }
+
     /// Marks a produced register ready (and possibly INV), waking waiters
     /// across all threads' windows.
     pub(super) fn wake_register(
@@ -133,8 +154,11 @@ impl SharedResources {
             }
             rf.set_ready(p);
         }
-        let waiters = self.iqs.take_waiters(class, p);
-        for (tid, seq, gseq) in waiters {
+        // Drain into owned scratch (taken to appease the borrow checker;
+        // capacity survives the round-trip, so no steady-state allocation).
+        let mut waiters = std::mem::take(&mut self.waiter_scratch);
+        self.iqs.take_waiters_into(class, p, &mut waiters);
+        for &(tid, seq, gseq) in &waiters {
             let Some(e) = threads[tid].rob.get_mut(seq) else {
                 continue;
             };
@@ -147,6 +171,7 @@ impl SharedResources {
                 self.iqs.push_ready(kind, e.gseq, tid, seq);
             }
         }
+        self.waiter_scratch = waiters;
     }
 
     // ---- policy dispatch gate ----

@@ -13,7 +13,7 @@
 use rat_isa::ExecRecord;
 
 use crate::rob::{EntryState, RobEntry};
-use crate::types::{Cycle, ExecMode, PhysReg, RegClass, ThreadId};
+use crate::types::{Cycle, ExecMode, ThreadId};
 
 use super::{Episode, SmtSimulator};
 
@@ -51,7 +51,8 @@ pub(super) fn enter_runahead(sim: &mut SmtSimulator, tid: ThreadId) {
     // they pseudo-complete with bogus values (their fills keep
     // prefetching in the hierarchy), and every in-flight register
     // becomes episode-owned so pseudo-retirement can free it early.
-    let mut conversions: Vec<(RegClass, PhysReg, Option<rat_isa::ArchReg>)> = Vec::new();
+    let mut conversions = std::mem::take(&mut sim.res.conv_scratch);
+    conversions.clear();
     let mut dmiss_drop = 0;
     {
         let thread = &mut sim.threads[tid];
@@ -71,20 +72,23 @@ pub(super) fn enter_runahead(sim: &mut SmtSimulator, tid: ThreadId) {
         thread.dmiss_inflight -= dmiss_drop;
     }
     sim.stats.threads[tid].runahead_inv_loads += conversions.len() as u64;
-    for (class, p, dst_arch) in conversions {
+    for &(class, p, dst_arch) in &conversions {
         sim.res.wake_register(&mut sim.threads, class, p, true);
         if let Some(arch) = dst_arch {
             sim.threads[tid].set_arch_inv_if_current(arch, p);
         }
     }
+    sim.res.conv_scratch = conversions;
 
     // Episode-tag every in-flight destination register.
-    let dsts: Vec<(RegClass, PhysReg)> =
-        sim.threads[tid].rob.iter().filter_map(|e| e.dst).collect();
+    let mut dsts = std::mem::take(&mut sim.res.dst_scratch);
+    dsts.clear();
+    dsts.extend(sim.threads[tid].rob.iter().filter_map(|e| e.dst));
     for &(class, p) in &dsts {
         sim.res.rf(class).mark_episode(p);
     }
-    sim.threads[tid].episode_regs.extend(dsts);
+    sim.threads[tid].episode_regs.extend(dsts.iter().copied());
+    sim.res.dst_scratch = dsts;
 }
 
 fn exit_runahead(sim: &mut SmtSimulator, tid: ThreadId) {

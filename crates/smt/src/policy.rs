@@ -122,6 +122,10 @@ pub struct HillState {
     /// index 0 = base epoch, 1..=n = trial for thread i-1
     phase: usize,
     results: Vec<f64>,
+    /// Reusable scratch for in-place rebalances (a rebalance is
+    /// allocation-free; the old implementation cloned `base` on every
+    /// adjustment).
+    scratch: Vec<f64>,
 }
 
 impl HillState {
@@ -143,6 +147,7 @@ impl HillState {
             committed_at_epoch: 0,
             phase: 0,
             results: Vec::with_capacity(n + 1),
+            scratch: Vec::with_capacity(n),
         }
     }
 
@@ -151,11 +156,22 @@ impl HillState {
         self.shares[tid]
     }
 
-    fn trial_shares(&self, boosted: usize) -> Vec<f64> {
-        let mut s = self.base.clone();
-        let boost = (s[boosted] + self.delta).min(0.90);
-        let scale: f64 = (1.0 - boost) / (1.0 - s[boosted]).max(1e-9);
-        for (i, v) in s.iter_mut().enumerate() {
+    /// The cycle of the next epoch boundary — the only cycle at which
+    /// shares can change, and hence a clock-skip bound for the Hill
+    /// policy.
+    pub fn next_boundary(&self) -> u64 {
+        self.next_boundary
+    }
+
+    /// Computes the trial configuration boosting `boosted` from `base`
+    /// into `out` (cleared first). A free function over disjoint field
+    /// borrows so callers can write straight into `shares` or `scratch`.
+    fn compute_trial(base: &[f64], boosted: usize, delta: f64, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend_from_slice(base);
+        let boost = (out[boosted] + delta).min(0.90);
+        let scale: f64 = (1.0 - boost) / (1.0 - base[boosted]).max(1e-9);
+        for (i, v) in out.iter_mut().enumerate() {
             if i == boosted {
                 *v = boost;
             } else {
@@ -163,11 +179,18 @@ impl HillState {
             }
         }
         // Renormalize to 1.
-        let sum: f64 = s.iter().sum();
-        for v in &mut s {
+        let sum: f64 = out.iter().sum();
+        for v in out {
             *v /= sum;
         }
-        s
+    }
+
+    /// Allocating convenience wrapper over [`Self::compute_trial`].
+    #[cfg(test)]
+    fn trial_shares(&self, boosted: usize) -> Vec<f64> {
+        let mut out = Vec::new();
+        Self::compute_trial(&self.base, boosted, self.delta, &mut out);
+        out
     }
 
     /// Advances the controller; call once per cycle with the cumulative
@@ -183,8 +206,8 @@ impl HillState {
         self.next_boundary = now + self.epoch_len;
 
         if self.phase < self.n {
-            // Start next trial: boost thread `phase`.
-            self.shares = self.trial_shares(self.phase);
+            // Start next trial: boost thread `phase` (written in place).
+            Self::compute_trial(&self.base, self.phase, self.delta, &mut self.shares);
             self.phase += 1;
         } else {
             // Round over: adopt the best configuration as the new base.
@@ -195,9 +218,11 @@ impl HillState {
                 .max_by(|a, b| a.1.partial_cmp(b.1).expect("ipc is finite"))
                 .expect("at least the base epoch result");
             if best_idx > 0 {
-                self.base = self.trial_shares(best_idx - 1);
+                // `base` is both input and output: stage through scratch.
+                Self::compute_trial(&self.base, best_idx - 1, self.delta, &mut self.scratch);
+                self.base.copy_from_slice(&self.scratch);
             }
-            self.shares = self.base.clone();
+            self.shares.copy_from_slice(&self.base);
             self.results.clear();
             self.phase = 0;
         }

@@ -103,6 +103,14 @@ pub struct SimStats {
     /// simulation (warmup included) — [`crate::SmtSimulator::reset_stats`]
     /// does not zero them, so compare totals across runs.
     pub mem_events: MemEventStats,
+    /// Cycles the event-driven driver fast-forwarded over instead of
+    /// stepping one by one (cumulative, warmup included). Purely a
+    /// simulator-performance diagnostic: skipped cycles are charged to
+    /// every per-cycle counter exactly as if they had been stepped, so
+    /// all other statistics are bit-identical with skipping disabled.
+    pub skipped_cycles: Cycle,
+    /// Number of contiguous skip jumps performed (cumulative).
+    pub skip_spans: u64,
 }
 
 impl SimStats {

@@ -21,6 +21,7 @@ fn main() {
         warmup_insts: 2_000,
         max_cycles: 200_000_000,
         seed: 42,
+        no_skip: false,
     };
     let mut ucfg = SmtConfig::hpca2008_baseline();
     ucfg.hierarchy = HierarchyConfig::hpca2008_baseline().unlimited_bandwidth();

@@ -13,6 +13,7 @@ fn quick_run() -> RunConfig {
         warmup_insts: 16_000,
         max_cycles: 200_000_000,
         seed: 42,
+        no_skip: false,
     }
 }
 
