@@ -3,19 +3,25 @@
 //! Every perf-oriented PR is judged against this harness: it times a
 //! fixed set of representative (mix × policy) cells — one per figure
 //! regime, with cycle-skip ablation pairs on the memory-bound mix where
-//! skipping matters most — prints a table, and writes the results to a
-//! JSON artifact (default `BENCH_3.json`) of the form
+//! skipping matters most and fetch-replay ablation pairs on the RaT
+//! cells where squash re-execution dominates — prints a table, and
+//! writes the results to a JSON artifact (default `BENCH_4.json`) of
+//! the form
 //! `{bench_name: {"wall_ms": .., "cycles_simulated": .., "cycles_per_sec": ..}}`
 //! so the perf trajectory is tracked in the repository.
 //!
-//! The simulated *numbers* are identical with and without `noskip`
-//! (enforced by `tests/cycle_skip.rs`); only wall-clock differs, which
-//! is exactly what this harness measures. Dependency-free: timing via
+//! The simulated *numbers* are identical with and without `noskip` /
+//! `noreplay` (enforced by `tests/cycle_skip.rs` and
+//! `tests/replay_cache.rs`); only wall-clock differs, which is exactly
+//! what this harness measures. Dependency-free: timing via
 //! `std::time::Instant`, JSON written by hand.
 //!
 //! Flags: `--insts N` / `--warmup N` / `--seed N` (methodology),
-//! `--out PATH` (JSON artifact), `--smoke` (tiny quota — verifies the
-//! harness runs end to end, e.g. in CI; the timings are meaningless).
+//! `--out PATH` (JSON artifact), `--compare PATH` (print per-regime
+//! cycles/sec deltas against an earlier artifact and fail on >25%
+//! regression), `--smoke` (tiny quota — verifies the harness runs end
+//! to end, e.g. in CI; the timings are meaningless, so `--compare`
+//! only reports and never gates under `--smoke`).
 
 use std::time::Instant;
 
@@ -24,12 +30,13 @@ use rat_smt::{PolicyKind, SmtConfig, SmtSimulator};
 use rat_workload::{mixes_for_group, ThreadImage, WorkloadGroup};
 
 /// One benchmark cell: a Table 2 mix under a policy, with or without
-/// cycle skipping.
+/// cycle skipping / fetch replay.
 struct BenchSpec {
     name: &'static str,
     group: WorkloadGroup,
     policy: PolicyKind,
     no_skip: bool,
+    no_replay: bool,
 }
 
 const fn spec(
@@ -43,6 +50,17 @@ const fn spec(
         group,
         policy,
         no_skip,
+        no_replay: false,
+    }
+}
+
+const fn spec_noreplay(name: &'static str, group: WorkloadGroup, policy: PolicyKind) -> BenchSpec {
+    BenchSpec {
+        name,
+        group,
+        policy,
+        no_skip: false,
+        no_replay: true,
     }
 }
 
@@ -81,7 +99,9 @@ const BENCHES: &[BenchSpec] = &[
         PolicyKind::Rat,
         true,
     ),
+    spec_noreplay("mem4_rat_noreplay", WorkloadGroup::Mem4, PolicyKind::Rat),
     spec("mix4_rat", WorkloadGroup::Mix4, PolicyKind::Rat, false),
+    spec_noreplay("mix4_rat_noreplay", WorkloadGroup::Mix4, PolicyKind::Rat),
 ];
 
 struct BenchResult {
@@ -90,6 +110,7 @@ struct BenchResult {
     cycles: u64,
     cycles_per_sec: f64,
     skipped: u64,
+    replayed: u64,
     committed: u64,
 }
 
@@ -98,6 +119,7 @@ struct Args {
     warmup: u64,
     seed: u64,
     out: String,
+    compare: Option<String>,
     smoke: bool,
 }
 
@@ -106,7 +128,8 @@ fn parse_args() -> Args {
         insts: 30_000,
         warmup: 20_000,
         seed: 42,
-        out: "BENCH_3.json".to_string(),
+        out: "BENCH_4.json".to_string(),
+        compare: None,
         smoke: false,
     };
     let mut args = std::env::args().skip(1);
@@ -120,9 +143,14 @@ fn parse_args() -> Args {
             "--warmup" => out.warmup = num(args.next(), "--warmup"),
             "--seed" => out.seed = num(args.next(), "--seed"),
             "--out" => out.out = args.next().expect("expected a path after --out"),
+            "--compare" => {
+                out.compare = Some(args.next().expect("expected a path after --compare"));
+            }
             "--smoke" => out.smoke = true,
             "--help" | "-h" => {
-                eprintln!("options: --insts N  --warmup N  --seed N  --out PATH  --smoke");
+                eprintln!(
+                    "options: --insts N  --warmup N  --seed N  --out PATH  --compare PATH  --smoke"
+                );
                 std::process::exit(0);
             }
             other => panic!("unknown argument {other}"),
@@ -147,6 +175,7 @@ fn run_bench(s: &BenchSpec, args: &Args) -> BenchResult {
         .collect();
     let mut sim = SmtSimulator::new(cfg, cpus);
     sim.set_cycle_skip(!s.no_skip);
+    sim.set_fetch_replay(!s.no_replay);
 
     // Time the whole simulation (warmup + measurement): the figure
     // sweeps pay for both phases.
@@ -164,6 +193,7 @@ fn run_bench(s: &BenchSpec, args: &Args) -> BenchResult {
         cycles,
         cycles_per_sec: cycles as f64 / wall.as_secs_f64().max(1e-9),
         skipped: sim.stats().skipped_cycles,
+        replayed: sim.stats().fetch_replays,
         committed: sim.stats().threads.iter().map(|t| t.committed).sum::<u64>(),
     }
 }
@@ -187,8 +217,74 @@ fn speedup_line(results: &[BenchResult], fast: &str, slow: &str, label: &str) ->
     let f = results.iter().find(|r| r.name == fast)?;
     let s = results.iter().find(|r| r.name == slow)?;
     let speedup = f.cycles_per_sec / s.cycles_per_sec;
-    println!("cycle-skip speedup ({label}): {speedup:.2}x (cycles/sec, {fast} vs {slow})");
+    println!("speedup ({label}): {speedup:.2}x (cycles/sec, {fast} vs {slow})");
     Some(speedup)
+}
+
+/// Extracts `"cycles_per_sec": <number>` entries keyed by bench name
+/// from a prior artifact (hand-rolled to stay dependency-free; format
+/// is the one `to_json` writes).
+fn parse_artifact(body: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in body.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some((name_part, rest)) = line.split_once(':') else {
+            continue;
+        };
+        let name = name_part.trim().trim_matches('"');
+        let Some(idx) = rest.find("\"cycles_per_sec\":") else {
+            continue;
+        };
+        let tail = rest[idx + "\"cycles_per_sec\":".len()..]
+            .trim_start()
+            .trim_end_matches(['}', ' ']);
+        if let Ok(v) = tail.parse::<f64>() {
+            out.push((name.to_string(), v));
+        }
+    }
+    out
+}
+
+/// Prints per-regime cycles/sec deltas against a prior artifact.
+/// Returns `false` when any common regime regressed by more than 25%.
+/// Under `--smoke` the caller never gates (tiny-quota timings are
+/// meaningless and CI hardware differs from the benchmarking host); the
+/// deltas are still printed for visibility.
+fn compare_against(results: &[BenchResult], base_path: &str, smoke: bool) -> bool {
+    let body = match std::fs::read_to_string(base_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("perfbench: cannot read {base_path}: {e}");
+            return false;
+        }
+    };
+    let base = parse_artifact(&body);
+    if base.is_empty() {
+        eprintln!("perfbench: no benchmarks parsed from {base_path}");
+        return false;
+    }
+    println!("\ncompared to {base_path} (cycles/sec):");
+    let mut ok = true;
+    for (name, old) in &base {
+        let Some(new) = results.iter().find(|r| r.name == name) else {
+            println!("  {name:<20} (not in this run)");
+            continue;
+        };
+        let ratio = new.cycles_per_sec / old.max(1e-9);
+        let flag = if ratio < 0.75 { "  <-- REGRESSION" } else { "" };
+        println!(
+            "  {name:<20} {:>10.2} -> {:>10.2} M/s  ({ratio:>5.2}x){flag}",
+            old / 1e6,
+            new.cycles_per_sec / 1e6
+        );
+        if ratio < 0.75 {
+            ok = false;
+        }
+    }
+    if smoke && !ok {
+        println!("  (smoke run: deltas are informational only, not gated)");
+    }
+    ok
 }
 
 fn main() {
@@ -205,6 +301,7 @@ fn main() {
         "Mcycles",
         "Mcycles/s",
         "skipped%",
+        "Mreplays",
         "committed",
     ]);
     for r in &results {
@@ -214,6 +311,7 @@ fn main() {
             format!("{:.2}", r.cycles as f64 / 1e6),
             format!("{:.2}", r.cycles_per_sec / 1e6),
             format!("{:.1}", 100.0 * r.skipped as f64 / r.cycles.max(1) as f64),
+            format!("{:.2}", r.replayed as f64 / 1e6),
             r.committed.to_string(),
         ]);
     }
@@ -223,9 +321,26 @@ fn main() {
         &results,
         "mem4_icount",
         "mem4_icount_noskip",
-        "MEM4, ICOUNT",
+        "MEM4, ICOUNT, cycle-skip",
     );
-    speedup_line(&results, "mem4_rat", "mem4_rat_noskip", "MEM4, RaT");
+    speedup_line(
+        &results,
+        "mem4_rat",
+        "mem4_rat_noskip",
+        "MEM4, RaT, cycle-skip",
+    );
+    speedup_line(
+        &results,
+        "mem4_rat",
+        "mem4_rat_noreplay",
+        "MEM4, RaT replay",
+    );
+    speedup_line(
+        &results,
+        "mix4_rat",
+        "mix4_rat_noreplay",
+        "MIX4, RaT replay",
+    );
 
     let json = to_json(&results);
     if let Err(e) = std::fs::write(&args.out, &json) {
@@ -233,6 +348,14 @@ fn main() {
         std::process::exit(1);
     }
     println!("\nwrote {}", args.out);
+
+    if let Some(base_path) = &args.compare {
+        let ok = compare_against(&results, base_path, args.smoke);
+        if !ok && !args.smoke {
+            eprintln!("perfbench: cycles/sec regressed by more than 25% vs {base_path}; failing");
+            std::process::exit(1);
+        }
+    }
 
     // Smoke mode is a harness self-check: every cell must have simulated
     // something and timed it.

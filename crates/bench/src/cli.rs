@@ -9,7 +9,8 @@ use rat_core::RunConfig;
 /// worker threads, 0 = all cores, 1 = serial), `--csv` (machine-readable
 /// output for plotting), `--st-cache PATH` (persist single-thread
 /// reference IPCs across invocations), `--no-skip` (step every cycle —
-/// the cycle-skipping ablation), `--quick` (tiny preset).
+/// the cycle-skipping ablation), `--no-replay` (functionally re-execute
+/// squashed spans — the fetch-replay ablation), `--quick` (tiny preset).
 #[derive(Clone, Debug)]
 pub struct HarnessArgs {
     /// Per-thread committed-instruction quota for measurement.
@@ -31,6 +32,9 @@ pub struct HarnessArgs {
     /// Disable event-driven cycle skipping (wall-clock ablation; the
     /// simulated numbers are bit-identical either way).
     pub no_skip: bool,
+    /// Disable fetch-replay memoization (wall-clock ablation; the
+    /// simulated numbers are bit-identical either way).
+    pub no_replay: bool,
 }
 
 impl Default for HarnessArgs {
@@ -44,6 +48,7 @@ impl Default for HarnessArgs {
             csv: false,
             st_cache: None,
             no_skip: false,
+            no_replay: false,
         }
     }
 }
@@ -77,6 +82,7 @@ impl HarnessArgs {
                     );
                 }
                 "--no-skip" => out.no_skip = true,
+                "--no-replay" => out.no_replay = true,
                 "--quick" => {
                     out.insts = 8_000;
                     out.warmup = 3_000;
@@ -86,7 +92,7 @@ impl HarnessArgs {
                     eprintln!(
                         "options: --insts N  --warmup N  --mixes N (0=all)  --seed N  \
                          --threads N (0=all cores, 1=serial)  --csv  --st-cache PATH  \
-                         --no-skip  --quick"
+                         --no-skip  --no-replay  --quick"
                     );
                     std::process::exit(0);
                 }
@@ -109,6 +115,7 @@ impl HarnessArgs {
             warmup_insts: self.warmup,
             seed: self.seed,
             no_skip: self.no_skip,
+            no_replay: self.no_replay,
             ..RunConfig::default()
         }
     }
@@ -126,6 +133,7 @@ mod tests {
         assert_eq!(a.threads, 0, "default uses all cores");
         assert!(a.st_cache.is_none());
         assert!(!a.no_skip);
+        assert!(!a.no_replay);
     }
 
     #[test]
@@ -169,13 +177,15 @@ mod tests {
     #[test]
     fn st_cache_and_no_skip_flags() {
         let a = HarnessArgs::parse(
-            ["--st-cache", "/tmp/st.txt", "--no-skip"]
+            ["--st-cache", "/tmp/st.txt", "--no-skip", "--no-replay"]
                 .iter()
                 .map(|s| s.to_string()),
         );
         assert_eq!(a.st_cache.as_deref(), Some("/tmp/st.txt"));
         assert!(a.no_skip);
         assert!(a.run_config().no_skip);
+        assert!(a.no_replay);
+        assert!(a.run_config().no_replay);
     }
 
     #[test]

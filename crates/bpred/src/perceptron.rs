@@ -58,14 +58,17 @@ impl PerceptronPredictor {
     #[inline]
     fn output(&self, idx: usize, history: &GlobalHistory) -> i32 {
         let base = idx * (self.history_len + 1);
-        let mut y = self.weights[base] as i32; // bias
-        for i in 0..self.history_len {
-            let w = self.weights[base + 1 + i] as i32;
-            if history.outcome(i) {
-                y += w;
-            } else {
-                y -= w;
-            }
+        let row = &self.weights[base..base + 1 + self.history_len];
+        // Branch-free ±weight accumulation (the history bits are
+        // near-random, so a data-dependent branch per bit mispredicts
+        // constantly and defeats vectorization). `sign` is +1 for a
+        // taken history bit, -1 otherwise — identical arithmetic to the
+        // branching form.
+        let mut y = row[0] as i32; // bias
+        let bits = history.bits();
+        for (i, &w) in row[1..].iter().enumerate() {
+            let sign = (((bits >> i) & 1) as i32) * 2 - 1;
+            y += sign * w as i32;
         }
         y
     }
@@ -101,9 +104,10 @@ impl Predictor for PerceptronPredictor {
         if predicted != outcome || y.abs() <= self.theta {
             let base = idx * (self.history_len + 1);
             saturating_bump(&mut self.weights[base], outcome);
+            let bits = history.bits();
             for i in 0..self.history_len {
                 // Agreeing (history bit == outcome) weights move up.
-                let agree = history.outcome(i) == outcome;
+                let agree = ((bits >> i) & 1 == 1) == outcome;
                 saturating_bump(&mut self.weights[base + 1 + i], agree);
             }
         }

@@ -26,6 +26,11 @@ pub struct RunConfig {
     /// every cycle (the `--no-skip` ablation reference). Results are
     /// bit-identical either way; only wall-clock time differs.
     pub no_skip: bool,
+    /// Disable the simulator's fetch-replay memoization and functionally
+    /// re-execute every squashed span (the `--no-replay` ablation
+    /// reference). Results are bit-identical either way (enforced by
+    /// `tests/replay_cache.rs`); only wall-clock time differs.
+    pub no_replay: bool,
 }
 
 impl Default for RunConfig {
@@ -36,6 +41,7 @@ impl Default for RunConfig {
             max_cycles: 400_000_000,
             seed: 42,
             no_skip: false,
+            no_replay: false,
         }
     }
 }
@@ -221,6 +227,7 @@ impl Runner {
             .collect();
         let mut sim = SmtSimulator::new(cfg, cpus);
         sim.set_cycle_skip(!self.run.no_skip);
+        sim.set_fetch_replay(!self.run.no_replay);
         sim
     }
 
@@ -396,6 +403,7 @@ mod tests {
             max_cycles: 50_000_000,
             seed: 7,
             no_skip: false,
+            no_replay: false,
         }
     }
 
@@ -507,6 +515,7 @@ mod tests {
             max_cycles: 5_000,
             seed: 7,
             no_skip: false,
+            no_replay: false,
         };
         let runner = Runner::new(SmtConfig::hpca2008_baseline(), run);
         let mix = &mixes_for_group(WorkloadGroup::Ilp2)[0];

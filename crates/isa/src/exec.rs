@@ -97,8 +97,6 @@ pub struct ExecRecord {
     pub eff_addr: Option<u64>,
     /// For control instructions: whether the branch/jump was taken.
     pub taken: bool,
-    /// For loads: the loaded value (useful for debugging/validation).
-    pub loaded: Option<u64>,
     /// For register-writing instructions: the produced value as raw bits
     /// (FP results are `f64::to_bits`). The pipeline's retirement register
     /// file applies these at commit.
@@ -107,6 +105,12 @@ pub struct ExecRecord {
     /// the thread's execution; matches the memory journal tags).
     pub seq: u64,
 }
+
+// `ExecRecord` is the unit the replay buffer, fetch queue and reorder
+// buffer copy around by value — millions of times per simulated second —
+// so its size is part of the simulator's hot-path budget. Loads report
+// their value through `result` (the loaded word *is* the produced
+// value), not a separate field.
 
 impl ExecRecord {
     /// Whether this record is a control-flow instruction.
@@ -251,7 +255,6 @@ impl Cpu {
         self.memory.journal_set_seq(seq);
         let mut eff_addr = None;
         let mut taken = false;
-        let mut loaded = None;
         let mut result = None;
         let mut next_pc = pc.next();
 
@@ -300,7 +303,6 @@ impl Cpu {
                 let v = self.memory.read_u64(addr);
                 self.state.set_int_reg(dst, v);
                 eff_addr = Some(addr);
-                loaded = Some(v);
                 result = Some(v);
             }
             Instruction::LoadFp { dst, base, offset } => {
@@ -308,7 +310,6 @@ impl Cpu {
                 let v = self.memory.read_u64(addr);
                 self.state.fp[dst.index()] = v;
                 eff_addr = Some(addr);
-                loaded = Some(v);
                 result = Some(v);
             }
             Instruction::Store { src, base, offset } => {
@@ -354,7 +355,6 @@ impl Cpu {
             next_pc,
             eff_addr,
             taken,
-            loaded,
             result,
             seq,
         }
@@ -453,7 +453,7 @@ mod tests {
         cpu.step();
         let ld = cpu.step();
         assert_eq!(ld.eff_addr, Some(0x40));
-        assert_eq!(ld.loaded, Some(0));
+        assert_eq!(ld.result, Some(0), "a load's result is the loaded value");
         let br = cpu.step();
         assert!(br.is_control());
         assert!(br.taken); // r2 == 0

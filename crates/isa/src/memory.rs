@@ -1,10 +1,17 @@
 //! Sparse 64-bit data memory with an undo log for runahead rollback.
 
+use std::cell::Cell;
 use std::collections::HashMap;
 
 const PAGE_SHIFT: u64 = 12;
 const PAGE_BYTES: usize = 1 << PAGE_SHIFT;
 const PAGE_WORDS: usize = PAGE_BYTES / 8;
+
+/// Sentinel page number for an empty hot-cache slot. Real page numbers
+/// are `addr >> 12` of 64-bit addresses and never reach this value in
+/// practice (it would require an address in the last page of the
+/// address space).
+const NO_PAGE: u64 = u64::MAX;
 
 /// Opaque marker returned by [`SparseMemory::begin_undo`], consumed by
 /// [`SparseMemory::rollback`] or [`SparseMemory::commit_undo`]. Prevents
@@ -21,6 +28,14 @@ pub struct UndoToken {
 /// * an undo log can be opened around a speculative (runahead) episode and
 ///   rolled back exactly, restoring every overwritten word.
 ///
+/// Pages live in an append-only frame arena indexed through a
+/// `page → frame` map, with a two-entry *hot-page cache* in front of the
+/// map: workload inner loops hammer one or two pages (a stream buffer, a
+/// chased list region), so the common load/store resolves its frame with
+/// two integer compares instead of a `HashMap` probe. The cache is pure
+/// memoization behind `Cell`s — reads stay `&self` and every path falls
+/// back to the map, so behavior is identical with the cache disabled.
+///
 /// # Example
 ///
 /// ```
@@ -33,14 +48,34 @@ pub struct UndoToken {
 /// m.rollback(tok);
 /// assert_eq!(m.read_u64(0x1000), 7);
 /// ```
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct SparseMemory {
-    pages: HashMap<u64, Box<[u64; PAGE_WORDS]>>,
+    /// Page number → index into `frames`.
+    page_map: HashMap<u64, u32>,
+    /// The page frames themselves; never removed, so indices are stable.
+    frames: Vec<Box<[u64; PAGE_WORDS]>>,
+    /// Most-recently-used `(page, frame)` pairs, hottest first.
+    hot: [Cell<(u64, u32)>; 2],
     undo: Vec<(u64, u64)>,
     undo_active: bool,
     journal: std::collections::VecDeque<(u64, u64, u64)>,
     journal_enabled: bool,
     journal_seq: u64,
+}
+
+impl Default for SparseMemory {
+    fn default() -> Self {
+        SparseMemory {
+            page_map: HashMap::new(),
+            frames: Vec::new(),
+            hot: [Cell::new((NO_PAGE, 0)), Cell::new((NO_PAGE, 0))],
+            undo: Vec::new(),
+            undo_active: false,
+            journal: std::collections::VecDeque::new(),
+            journal_enabled: false,
+            journal_seq: 0,
+        }
+    }
 }
 
 impl SparseMemory {
@@ -55,11 +90,47 @@ impl SparseMemory {
         (addr >> PAGE_SHIFT, ((addr as usize) & (PAGE_BYTES - 1)) / 8)
     }
 
+    /// Resolves `page` to its frame index through the hot cache, falling
+    /// back to (and refilling from) the page map.
+    #[inline]
+    fn frame_of(&self, page: u64) -> Option<u32> {
+        let h0 = self.hot[0].get();
+        if h0.0 == page {
+            return Some(h0.1);
+        }
+        let h1 = self.hot[1].get();
+        if h1.0 == page {
+            self.hot[1].set(h0);
+            self.hot[0].set(h1);
+            return Some(h1.1);
+        }
+        let &frame = self.page_map.get(&page)?;
+        self.hot[1].set(h0);
+        self.hot[0].set((page, frame));
+        Some(frame)
+    }
+
+    /// Resolves `page` to its frame index, allocating a zeroed frame on
+    /// first touch.
+    #[inline]
+    fn frame_of_or_alloc(&mut self, page: u64) -> usize {
+        if let Some(frame) = self.frame_of(page) {
+            return frame as usize;
+        }
+        let frame = u32::try_from(self.frames.len()).expect("page frame count fits u32");
+        self.frames.push(Box::new([0u64; PAGE_WORDS]));
+        self.page_map.insert(page, frame);
+        self.hot[1].set(self.hot[0].get());
+        self.hot[0].set((page, frame));
+        frame as usize
+    }
+
     /// Reads the 64-bit word at `addr` (must be 8-byte aligned).
     #[inline]
     pub fn read_u64(&self, addr: u64) -> u64 {
         let (page, word) = Self::split(addr);
-        self.pages.get(&page).map_or(0, |p| p[word])
+        self.frame_of(page)
+            .map_or(0, |f| self.frames[f as usize][word])
     }
 
     /// Writes the 64-bit word at `addr` (must be 8-byte aligned). If an undo
@@ -67,17 +138,15 @@ impl SparseMemory {
     #[inline]
     pub fn write_u64(&mut self, addr: u64, value: u64) {
         let (page, word) = Self::split(addr);
-        let p = self
-            .pages
-            .entry(page)
-            .or_insert_with(|| Box::new([0u64; PAGE_WORDS]));
+        let frame = self.frame_of_or_alloc(page);
+        let slot = &mut self.frames[frame][word];
         if self.undo_active {
-            self.undo.push((addr, p[word]));
+            self.undo.push((addr, *slot));
         }
         if self.journal_enabled {
-            self.journal.push_back((self.journal_seq, addr, p[word]));
+            self.journal.push_back((self.journal_seq, addr, *slot));
         }
-        p[word] = value;
+        *slot = value;
     }
 
     /// Reads the word at `addr` as an IEEE-754 binary64 value.
@@ -90,6 +159,14 @@ impl SparseMemory {
     #[inline]
     pub fn write_f64(&mut self, addr: u64, value: f64) {
         self.write_u64(addr, value.to_bits());
+    }
+
+    /// Restores `old` at `addr` without logging (rollback paths).
+    fn restore_word(&mut self, addr: u64, old: u64) {
+        let (page, word) = Self::split(addr);
+        if let Some(f) = self.frame_of(page) {
+            self.frames[f as usize][word] = old;
+        }
     }
 
     /// Opens an undo log. All subsequent writes record their previous value
@@ -115,10 +192,7 @@ impl SparseMemory {
         assert!(self.undo_active, "no undo log active");
         while self.undo.len() > token.depth {
             let (addr, old) = self.undo.pop().expect("undo entry");
-            let (page, word) = Self::split(addr);
-            if let Some(p) = self.pages.get_mut(&page) {
-                p[word] = old;
-            }
+            self.restore_word(addr, old);
         }
         self.undo_active = false;
     }
@@ -140,7 +214,7 @@ impl SparseMemory {
     /// Number of resident (touched) pages; useful for footprint assertions
     /// in tests.
     pub fn resident_pages(&self) -> usize {
-        self.pages.len()
+        self.page_map.len()
     }
 
     // ---- sequence-tagged write journal ----
@@ -151,6 +225,13 @@ impl SparseMemory {
     // commits, and a pipeline squash rolls back every write younger than
     // the squash point. Unlike the undo log it is always on and spans
     // arbitrary instruction ranges.
+    //
+    // With the fetch-replay buffer active (see `rat_smt`'s `OracleThread`),
+    // squashed-then-replayed stores never re-execute, so the journal is
+    // written exactly once per dynamic store and never rolled back on
+    // squash — entries simply wait for their (replayed) writer to commit
+    // and be trimmed. The rollback path below remains the
+    // replay-disabled / divergence-fallback mechanism.
 
     /// Turns on the write journal. Subsequent writes record `(seq, addr,
     /// previous value)` where `seq` was set by
@@ -185,10 +266,7 @@ impl SparseMemory {
     pub fn journal_rollback(&mut self, from: u64) {
         while let Some(&(seq, addr, old)) = self.journal.back() {
             if seq >= from {
-                let (page, word) = Self::split(addr);
-                if let Some(p) = self.pages.get_mut(&page) {
-                    p[word] = old;
-                }
+                self.restore_word(addr, old);
                 self.journal.pop_back();
             } else {
                 break;
@@ -223,6 +301,20 @@ mod tests {
         assert_eq!(m.read_u64(0x8000), 43);
         assert_eq!(m.read_u64(0x18), 0);
         assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn hot_cache_survives_many_pages() {
+        // Touch more pages than the hot cache holds, then revisit them
+        // all: every word must still read back through the map fallback.
+        let mut m = SparseMemory::new();
+        for p in 0..8u64 {
+            m.write_u64(p << 12, p + 1);
+        }
+        for p in (0..8u64).rev() {
+            assert_eq!(m.read_u64(p << 12), p + 1);
+        }
+        assert_eq!(m.resident_pages(), 8);
     }
 
     #[test]
@@ -310,5 +402,15 @@ mod tests {
         m.write_u64(0, 2);
         m.rollback(t2);
         assert_eq!(m.read_u64(0), 0);
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let mut a = SparseMemory::new();
+        a.write_u64(0x40, 7);
+        let mut b = a.clone();
+        b.write_u64(0x40, 8);
+        assert_eq!(a.read_u64(0x40), 7);
+        assert_eq!(b.read_u64(0x40), 8);
     }
 }

@@ -1,5 +1,8 @@
 //! A single set-associative, LRU cache level with in-flight (MSHR) tracking.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
 use crate::Cycle;
 
 /// Geometry and timing of one cache level.
@@ -145,7 +148,11 @@ pub struct Cache {
     set_mask: u64,
     line_shift: u32,
     lru_clock: u64,
-    outstanding: Vec<Cycle>,
+    /// In-flight fill completion times, a min-heap ordered by completion
+    /// cycle: expiry pops only due entries, so the no-expiry fast path —
+    /// the overwhelmingly common case on a per-access MSHR check — is one
+    /// peek instead of a linear scan over every outstanding miss.
+    outstanding: BinaryHeap<Reverse<Cycle>>,
     stats: CacheStats,
 }
 
@@ -165,7 +172,7 @@ impl Cache {
             set_mask: (num_sets - 1) as u64,
             line_shift: cfg.line_bytes.trailing_zeros(),
             lru_clock: 0,
-            outstanding: Vec::new(),
+            outstanding: BinaryHeap::new(),
             stats: CacheStats::default(),
         }
     }
@@ -196,9 +203,16 @@ impl Cache {
         addr >> self.line_shift
     }
 
-    /// Drops completed fills from the MSHR occupancy list.
+    /// Drops completed fills from the MSHR occupancy heap. Amortized O(1)
+    /// when nothing is due (one heap peek).
+    #[inline]
     fn expire_outstanding(&mut self, now: Cycle) {
-        self.outstanding.retain(|&ready| ready > now);
+        while let Some(&Reverse(ready)) = self.outstanding.peek() {
+            if ready > now {
+                break;
+            }
+            self.outstanding.pop();
+        }
     }
 
     /// Number of misses still in flight at `now`.
@@ -251,7 +265,7 @@ impl Cache {
             "fill without MSHR space"
         );
         if valid_from > now {
-            self.outstanding.push(valid_from);
+            self.outstanding.push(Reverse(valid_from));
         }
         let base = self.set_index(addr);
         let tag = self.tag(addr);

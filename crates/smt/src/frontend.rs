@@ -6,17 +6,44 @@
 //! branch outcomes down the pipe. To support squashes (FLUSH policy,
 //! runahead exit), the thread also keeps a **retirement register file**
 //! (RRF): the architectural register values as of the last *committed*
-//! instruction, updated from recorded results at commit. Rewinding the
-//! oracle to any in-flight point is then: copy the RRF, replay the
-//! surviving in-flight results, roll back journaled memory writes, and
-//! reset the PC/sequence counter.
+//! instruction, updated from recorded results at commit.
+//!
+//! # Fetch-replay memoization
+//!
+//! The oracle is deterministic and each thread's data memory is private,
+//! so the [`ExecRecord`] stream is a pure function of the dynamic
+//! sequence number: re-fetching after a squash recomputes **bit-identical
+//! records**. The oracle therefore keeps a seq-indexed **replay buffer**
+//! of every record past the commit point — the single authoritative copy
+//! of every in-flight instruction's record, so the fetch buffer and
+//! reorder buffer carry only the few hot scalars they read (PC,
+//! effective address, branch direction) instead of duplicating 80-byte
+//! records ([`OracleThread::record`] resolves a full record by sequence
+//! number for tests and diagnostics). A rewind
+//! (runahead exit, FLUSH squash) becomes a cursor move — no register
+//! rebuild, no memory-journal rollback — and subsequent
+//! [`OracleThread::fetch_step`] calls are served from the buffer until
+//! fetch passes the previously-executed frontier, where live execution
+//! resumes seamlessly (the underlying `Cpu` was simply left at the
+//! frontier). Squashed stores are never re-executed, so their journal
+//! entries are recorded exactly once and just wait for their replayed
+//! writer to commit.
+//!
+//! [`OracleThread::set_replay`] disables the *serving* half (restoring
+//! the eager rewind: rebuild registers from the RRF plus surviving
+//! in-flight results, roll back journaled writes, truncate the buffer,
+//! and functionally re-execute the squashed span); this is the
+//! `--no-replay` ablation reference used by `tests/replay_cache.rs` to
+//! prove the two modes produce bit-identical simulations.
+
+use std::collections::VecDeque;
 
 use rat_isa::{
     Cpu, ExecRecord, FpReg, Instruction, IntReg, Pc, NUM_FP_ARCH_REGS, NUM_INT_ARCH_REGS,
 };
 
 /// A thread's functional front end: fetch-time emulator + retirement
-/// register file.
+/// register file + fetch-replay buffer.
 #[derive(Debug)]
 pub struct OracleThread {
     cpu: Cpu,
@@ -24,41 +51,143 @@ pub struct OracleThread {
     rrf_fp: [u64; NUM_FP_ARCH_REGS],
     rrf_pc: Pc,
     committed: u64,
+    /// Records of every executed-but-uncommitted instruction, in seq
+    /// order: seqs `[committed, committed + replay.len())`. Maintained
+    /// in both modes (the pipeline reads in-flight records from here);
+    /// with replay disabled it is truncated on rewind instead of served.
+    replay: VecDeque<ExecRecord>,
+    /// Sequence number of the next record [`Self::fetch_step`] returns.
+    /// `cursor < frontier` means fetch is replaying memoized records;
+    /// `cursor == frontier` means fetch is at the live edge.
+    cursor: u64,
+    replay_enabled: bool,
+    /// Fetches served from the buffer (simulator-performance diagnostic).
+    replayed: u64,
 }
 
 impl OracleThread {
     /// Wraps a prepared functional context (program + memory image +
-    /// planted registers). Enables the memory write journal.
+    /// planted registers). Enables the memory write journal and the
+    /// fetch-replay buffer (see [`OracleThread::set_replay`]).
     pub fn new(mut cpu: Cpu) -> Self {
         cpu.enable_journal();
         let rrf_int = std::array::from_fn(|i| cpu.state().int_reg(IntReg::new(i as u8)));
         let rrf_fp = std::array::from_fn(|i| cpu.state().fp_reg_bits(FpReg::new(i as u8)));
         let rrf_pc = cpu.state().pc();
+        let cursor = cpu.retired();
         OracleThread {
             cpu,
             rrf_int,
             rrf_fp,
             rrf_pc,
-            committed: 0,
+            committed: cursor,
+            replay: VecDeque::new(),
+            cursor,
+            replay_enabled: true,
+            replayed: 0,
         }
+    }
+
+    /// Sequence number one past the newest record ever executed (the
+    /// live edge of the replay buffer).
+    #[inline]
+    fn frontier(&self) -> u64 {
+        self.committed + self.replay.len() as u64
+    }
+
+    /// The execution record of in-flight instruction `seq`. The buffer
+    /// holds every record in `[commit point, execution frontier)`, so
+    /// any dispatched-but-not-committed (or pseudo-retiring / squashing)
+    /// instruction can be resolved here — this is how the pipeline reads
+    /// addresses, branch outcomes and results without copying records
+    /// into its own queues.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `seq` is outside the in-flight range.
+    #[allow(dead_code)] // hot scalars are denormalized into RobEntry; kept for tests/diagnostics
+    #[inline]
+    pub fn record(&self, seq: u64) -> &ExecRecord {
+        debug_assert!(
+            seq >= self.committed && seq < self.frontier(),
+            "record {seq} outside in-flight range [{}, {})",
+            self.committed,
+            self.frontier()
+        );
+        &self.replay[(seq - self.committed) as usize]
+    }
+
+    /// Enables or disables fetch-replay memoization (on by default).
+    ///
+    /// Disabling mid-flight first *materializes* the cursor position:
+    /// the `Cpu` (parked at the frontier while replaying) is eagerly
+    /// rewound to the cursor. Results are bit-identical either way
+    /// (`tests/replay_cache.rs`); `false` is the `--no-replay` ablation
+    /// reference.
+    pub fn set_replay(&mut self, enabled: bool) {
+        if enabled == self.replay_enabled {
+            return;
+        }
+        if !enabled {
+            let cursor = self.cursor;
+            self.replay_enabled = false;
+            self.rewind_to(cursor);
+        } else {
+            // Live edge == cursor == frontier: serving can start as is.
+            self.replay_enabled = true;
+        }
+    }
+
+    /// Whether fetch-replay memoization is active.
+    #[allow(dead_code)] // API symmetry; used by tests
+    #[inline]
+    pub fn replay_enabled(&self) -> bool {
+        self.replay_enabled
+    }
+
+    /// Total fetches served from the replay buffer instead of live
+    /// functional execution.
+    #[inline]
+    pub fn replayed_count(&self) -> u64 {
+        self.replayed
     }
 
     /// The PC the next fetch will execute.
     #[inline]
     pub fn fetch_pc(&self) -> Pc {
-        self.cpu.state().pc()
+        if self.cursor < self.frontier() {
+            self.replay[(self.cursor - self.committed) as usize].pc
+        } else {
+            self.cpu.state().pc()
+        }
     }
 
-    /// Functionally executes the instruction at the fetch PC.
+    /// Functionally executes (or replays) the instruction at the fetch
+    /// PC.
     #[inline]
     pub fn fetch_step(&mut self) -> ExecRecord {
-        self.cpu.step()
+        let idx = (self.cursor - self.committed) as usize;
+        if idx < self.replay.len() {
+            // Only reachable with replay enabled: the eager rewind
+            // truncates the buffer to the cursor.
+            debug_assert!(self.replay_enabled);
+            let rec = self.replay[idx];
+            debug_assert_eq!(rec.seq, self.cursor, "replay buffer out of sync");
+            self.cursor += 1;
+            self.replayed += 1;
+            return rec;
+        }
+        let rec = self.cpu.step();
+        debug_assert_eq!(rec.seq, self.cursor, "live edge out of sync");
+        self.replay.push_back(rec);
+        self.cursor += 1;
+        rec
     }
 
     /// Sequence number of the next instruction to be fetched.
     #[inline]
     pub fn next_seq(&self) -> u64 {
-        self.cpu.retired()
+        self.cursor
     }
 
     /// Sequence number of the next instruction to commit.
@@ -100,15 +229,22 @@ impl OracleThread {
         }
     }
 
-    /// Commits one instruction: folds its recorded result into the RRF and
-    /// lets the memory journal forget its write (stores).
+    /// Commits the instruction at the commit point: folds its recorded
+    /// result into the RRF, lets the memory journal forget its write
+    /// (stores), and prunes the replay buffer (a committed record can
+    /// never be replayed again). Returns the committed record.
     ///
     /// # Panics
     ///
-    /// Panics if records are committed out of order.
-    pub fn commit(&mut self, rec: &ExecRecord) {
-        assert_eq!(rec.seq, self.committed, "out-of-order commit");
-        Self::apply(rec, &mut self.rrf_int, &mut self.rrf_fp);
+    /// Panics if no in-flight (fetched) instruction is pending commit.
+    pub fn commit_next(&mut self) -> ExecRecord {
+        assert!(
+            self.committed < self.cursor,
+            "commit ahead of the fetch point"
+        );
+        let rec = self.replay.pop_front().expect("in-flight record");
+        debug_assert_eq!(rec.seq, self.committed, "replay prune out of sync");
+        Self::apply(&rec, &mut self.rrf_int, &mut self.rrf_fp);
         self.rrf_pc = rec.next_pc;
         self.committed += 1;
         if matches!(
@@ -117,27 +253,46 @@ impl OracleThread {
         ) {
             self.cpu.memory_mut().journal_trim(rec.seq);
         }
+        rec
     }
 
-    /// Rewinds the fetch oracle to just after the last record in `replay`
-    /// (or to the retirement point when `replay` is empty): registers are
-    /// rebuilt from the RRF plus the surviving in-flight results, all
-    /// memory writes of squashed instructions are rolled back, and the
-    /// fetch PC / sequence counter are reset.
+    /// Rewinds the fetch point to `resume_seq` (`committed <= resume_seq
+    /// <= frontier`): the squash resumes fetching at `resume_seq`, with
+    /// everything younger discarded.
     ///
-    /// `replay` must be the thread's surviving in-flight records in
-    /// program order.
-    pub fn rewind(&mut self, replay: impl Iterator<Item = ExecRecord>) {
+    /// With replay enabled this is a pure cursor move: the `Cpu` stays
+    /// parked at the frontier and the squashed span is served from the
+    /// buffer on re-fetch. With replay disabled (the `--no-replay`
+    /// ablation), registers are rebuilt from the RRF plus the surviving
+    /// in-flight results, all memory writes of squashed instructions are
+    /// rolled back, the buffer is truncated, and the squashed span
+    /// functionally re-executes on re-fetch.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `resume_seq` is outside the buffered range —
+    /// the pipeline only ever rewinds to in-flight points, which are
+    /// always buffered.
+    pub fn rewind_to(&mut self, resume_seq: u64) {
+        debug_assert!(
+            resume_seq >= self.committed && resume_seq <= self.frontier(),
+            "rewind target {resume_seq} outside buffered range [{}, {}]",
+            self.committed,
+            self.frontier()
+        );
+        self.cursor = resume_seq;
+        if self.replay_enabled {
+            return;
+        }
         let mut int = self.rrf_int;
         let mut fp = self.rrf_fp;
         let mut resume_pc = self.rrf_pc;
-        let mut resume_seq = self.committed;
-        for rec in replay {
-            debug_assert_eq!(rec.seq, resume_seq, "replay gap");
-            Self::apply(&rec, &mut int, &mut fp);
+        let keep = (resume_seq - self.committed) as usize;
+        for rec in self.replay.iter().take(keep) {
+            Self::apply(rec, &mut int, &mut fp);
             resume_pc = rec.next_pc;
-            resume_seq = rec.seq + 1;
         }
+        self.replay.truncate(keep);
         self.cpu.memory_mut().journal_rollback(resume_seq);
         let st = self.cpu.state_mut();
         for (i, v) in int.iter().enumerate() {
@@ -151,6 +306,10 @@ impl OracleThread {
     }
 
     /// Read access to the underlying functional context (tests).
+    ///
+    /// With replay enabled the `Cpu` sits at the execution *frontier*,
+    /// not the fetch cursor — architectural state questions mid-squash
+    /// should go through the records, not this accessor.
     #[allow(dead_code)]
     pub fn cpu(&self) -> &Cpu {
         &self.cpu
@@ -174,29 +333,47 @@ mod tests {
         cpu
     }
 
+    fn eager(cpu: Cpu) -> OracleThread {
+        let mut o = OracleThread::new(cpu);
+        o.set_replay(false);
+        o
+    }
+
     #[test]
     fn commit_tracks_rrf() {
         let mut o = OracleThread::new(counting_cpu());
         let r1 = o.fetch_step();
         let r2 = o.fetch_step();
-        o.commit(&r1);
-        o.commit(&r2);
+        assert_eq!(o.commit_next().seq, r1.seq);
+        assert_eq!(o.commit_next().seq, r2.seq);
         assert_eq!(o.committed(), 2);
         assert_eq!(o.rrf_pc(), r2.next_pc);
     }
 
     #[test]
-    fn rewind_to_retirement_point() {
+    fn record_resolves_inflight_seqs() {
         let mut o = OracleThread::new(counting_cpu());
+        let recs: Vec<_> = (0..5).map(|_| o.fetch_step()).collect();
+        o.commit_next();
+        for r in &recs[1..] {
+            let got = o.record(r.seq);
+            assert_eq!(got.pc, r.pc);
+            assert_eq!(got.result, r.result);
+        }
+    }
+
+    #[test]
+    fn rewind_to_retirement_point_eager() {
+        let mut o = eager(counting_cpu());
         // Fetch 6 instructions (2 loop iterations), commit only the first 3.
         let recs: Vec<_> = (0..6).map(|_| o.fetch_step()).collect();
-        for r in &recs[..3] {
-            o.commit(r);
+        for _ in 0..3 {
+            o.commit_next();
         }
         assert_eq!(o.cpu().state().int_reg(IntReg::new(1)), 2);
         assert_eq!(o.cpu().memory().read_u64(0x100), 2);
         // Squash everything in flight: back to the committed point.
-        o.rewind(std::iter::empty());
+        o.rewind_to(3);
         assert_eq!(o.cpu().state().int_reg(IntReg::new(1)), 1);
         assert_eq!(o.cpu().memory().read_u64(0x100), 1, "squashed store undone");
         assert_eq!(o.next_seq(), 3);
@@ -208,12 +385,12 @@ mod tests {
     }
 
     #[test]
-    fn rewind_with_partial_replay() {
-        let mut o = OracleThread::new(counting_cpu());
+    fn rewind_with_partial_replay_eager() {
+        let mut o = eager(counting_cpu());
         let recs: Vec<_> = (0..9).map(|_| o.fetch_step()).collect();
-        o.commit(&recs[0]);
+        o.commit_next();
         // Keep seqs 1..=4 in flight, squash 5..
-        o.rewind(recs[1..5].iter().copied());
+        o.rewind_to(5);
         assert_eq!(o.next_seq(), 5);
         // r1 was incremented by seq 0 and seq 3 (adds at pc 0); value 2.
         assert_eq!(o.cpu().state().int_reg(IntReg::new(1)), 2);
@@ -226,16 +403,99 @@ mod tests {
 
     #[test]
     fn deterministic_refetch_after_many_rewinds() {
-        let mut o = OracleThread::new(counting_cpu());
-        let baseline: Vec<_> = (0..12).map(|_| o.fetch_step()).collect();
-        o.rewind(std::iter::empty());
-        for round in 0..3 {
-            let recs: Vec<_> = (0..12).map(|_| o.fetch_step()).collect();
-            for (a, b) in baseline.iter().zip(&recs) {
-                assert_eq!(a.result, b.result, "round {round}");
-                assert_eq!(a.pc, b.pc);
+        for replay_on in [false, true] {
+            let mut o = OracleThread::new(counting_cpu());
+            o.set_replay(replay_on);
+            let baseline: Vec<_> = (0..12).map(|_| o.fetch_step()).collect();
+            o.rewind_to(0);
+            for round in 0..3 {
+                let recs: Vec<_> = (0..12).map(|_| o.fetch_step()).collect();
+                for (a, b) in baseline.iter().zip(&recs) {
+                    assert_eq!(a.result, b.result, "round {round} replay={replay_on}");
+                    assert_eq!(a.pc, b.pc);
+                }
+                o.rewind_to(0);
             }
-            o.rewind(std::iter::empty());
         }
+    }
+
+    /// The tentpole property at unit scale: a replaying oracle and an
+    /// eager one fed the same fetch/commit/rewind schedule produce
+    /// bit-identical record streams.
+    #[test]
+    fn replay_matches_eager_under_squashes() {
+        let mut fast = OracleThread::new(counting_cpu());
+        let mut slow = eager(counting_cpu());
+        let assert_same = |a: &ExecRecord, b: &ExecRecord| {
+            assert_eq!(a.seq, b.seq);
+            assert_eq!(a.pc, b.pc);
+            assert_eq!(a.next_pc, b.next_pc);
+            assert_eq!(a.result, b.result);
+            assert_eq!(a.eff_addr, b.eff_addr);
+            assert_eq!(a.taken, b.taken);
+        };
+        let mut inflight: Vec<ExecRecord> = Vec::new();
+        for round in 0..5 {
+            // Fetch a burst.
+            for _ in 0..7 {
+                assert_eq!(fast.fetch_pc(), slow.fetch_pc());
+                let (a, b) = (fast.fetch_step(), slow.fetch_step());
+                assert_same(&a, &b);
+                inflight.push(a);
+            }
+            // Commit a few from the front.
+            for rec in inflight.drain(..2 + round % 2) {
+                assert_same(&fast.commit_next(), &rec);
+                assert_same(&slow.commit_next(), &rec);
+            }
+            // Squash the tail, keeping a round-dependent prefix.
+            inflight.truncate(1 + round);
+            let resume = inflight.last().map_or(fast.committed(), |r| r.seq + 1);
+            fast.rewind_to(resume);
+            slow.rewind_to(resume);
+            assert_eq!(fast.next_seq(), slow.next_seq());
+        }
+        assert!(
+            fast.replayed_count() > 0,
+            "squash schedule must exercise replay"
+        );
+        assert_eq!(slow.replayed_count(), 0);
+    }
+
+    #[test]
+    fn replay_serves_buffer_then_resumes_live() {
+        let mut o = OracleThread::new(counting_cpu());
+        let recs: Vec<_> = (0..6).map(|_| o.fetch_step()).collect();
+        o.rewind_to(0);
+        assert_eq!(o.next_seq(), 0);
+        // The whole squashed span replays from the buffer...
+        for r in &recs {
+            let again = o.fetch_step();
+            assert_eq!(again.seq, r.seq);
+            assert_eq!(again.result, r.result);
+        }
+        assert_eq!(o.replayed_count(), 6);
+        // ...and the next fetch crosses the frontier into live execution.
+        let live = o.fetch_step();
+        assert_eq!(live.seq, 6);
+        assert_eq!(o.replayed_count(), 6);
+    }
+
+    #[test]
+    fn disabling_replay_mid_flight_materializes_cursor() {
+        let mut o = OracleThread::new(counting_cpu());
+        let recs: Vec<_> = (0..6).map(|_| o.fetch_step()).collect();
+        o.commit_next();
+        o.rewind_to(3); // cursor at 3, frontier at 6
+        o.set_replay(false);
+        // The Cpu must now sit exactly at seq 3 with squashed state undone:
+        // the store at seq 4 (value 2) rolled back, the one at seq 1
+        // (value 1) retained.
+        assert_eq!(o.next_seq(), 3);
+        assert_eq!(o.cpu().retired(), 3);
+        assert_eq!(o.cpu().memory().read_u64(0x100), 1);
+        let next = o.fetch_step();
+        assert_eq!(next.seq, recs[3].seq);
+        assert_eq!(next.result, recs[3].result);
     }
 }

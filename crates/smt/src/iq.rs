@@ -110,8 +110,8 @@ impl IssueQueues {
     #[inline]
     fn head_slot(&self, class: RegClass, p: PhysReg) -> usize {
         match class {
-            RegClass::Int => p,
-            RegClass::Fp => self.int_regs + p,
+            RegClass::Int => p as usize,
+            RegClass::Fp => self.int_regs + p as usize,
         }
     }
 
@@ -148,6 +148,7 @@ impl IssueQueues {
     /// called when the register's value is produced. The chain's nodes
     /// return to the freelist; the caller decrements each waiter's count
     /// and requeues the ready ones.
+    #[allow(dead_code)] // superseded by `wake_waiters` on the hot path; kept for tests
     pub fn take_waiters_into(
         &mut self,
         class: RegClass,
@@ -162,6 +163,30 @@ impl IssueQueues {
             out.push((node.tid, node.seq, node.gseq));
             self.nodes[cur as usize].next = self.free_head;
             self.free_head = cur;
+            cur = node.next;
+        }
+    }
+
+    /// Drains the waiters of `(class, p)` in place: for each waiter the
+    /// callback decides (by decrementing its wakeup count against the
+    /// ROB) whether it became issuable, returning the queue to requeue it
+    /// on. Fusing the drain and the requeue avoids bouncing every wakeup
+    /// through a scratch vector on the writeback hot path.
+    pub fn wake_waiters(
+        &mut self,
+        class: RegClass,
+        p: PhysReg,
+        mut requeue: impl FnMut(ThreadId, u64, u64) -> Option<IqKind>,
+    ) {
+        let slot = self.head_slot(class, p);
+        let mut cur = std::mem::replace(&mut self.wake_heads[slot], NIL);
+        while cur != NIL {
+            let node = self.nodes[cur as usize];
+            self.nodes[cur as usize].next = self.free_head;
+            self.free_head = cur;
+            if let Some(kind) = requeue(node.tid, node.seq, node.gseq) {
+                self.ready[kind.index()].push(Reverse((node.gseq, node.tid, node.seq)));
+            }
             cur = node.next;
         }
     }

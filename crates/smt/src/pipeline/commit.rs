@@ -31,7 +31,7 @@ pub(super) fn entry_eligible(
         && front.l2_miss
         && front.ready_at > at + cfg.runahead.entry_threshold
         && !front.inv
-        && !thread.no_retrigger.contains(&front.seq)
+        && (thread.no_retrigger.is_empty() || !thread.no_retrigger.contains(&front.seq))
 }
 
 /// Runs the commit stage for one cycle.
@@ -96,14 +96,15 @@ fn commit_one(sim: &mut SmtSimulator, tid: ThreadId) {
     let t = &mut sim.threads[tid];
     let e = t.rob.pop_front().expect("commit front");
     debug_assert_eq!(e.mode, ExecMode::Normal);
-    t.oracle.commit(&e.rec);
+    let rec = t.oracle.commit_next();
+    debug_assert_eq!(rec.seq, e.seq, "oracle/ROB commit points diverged");
     if let (Some((class, dst)), Some(arch)) = (e.dst, e.dst_arch) {
         let old = t.rename.commit(arch, dst);
         sim.res.rf(class).free(old, tid);
     }
     let t = &mut sim.threads[tid];
     if e.is_store() {
-        if let Some(addr) = e.rec.eff_addr {
+        if let Some(addr) = rec.eff_addr {
             t.remove_store_addr(addr);
         }
     }
@@ -123,7 +124,7 @@ fn pseudo_retire_one(sim: &mut SmtSimulator, tid: ThreadId) {
         sim.res.free_if_episode_owned(class, prev, tid);
     }
     if e.is_store() {
-        if let Some(addr) = e.rec.eff_addr {
+        if let Some(addr) = e.eff_addr {
             sim.threads[tid].remove_store_addr(addr);
         }
     }

@@ -55,13 +55,7 @@ fn writeback(sim: &mut SmtSimulator, tid: ThreadId, seq: u64, gseq: u64) {
 fn resolve_branch(sim: &mut SmtSimulator, tid: ThreadId, seq: u64) {
     let (pc, taken, predicted, mispredicted, hist_bits) = {
         let e = sim.threads[tid].rob.get(seq).expect("resolving branch");
-        (
-            e.rec.pc,
-            e.rec.taken,
-            e.predicted,
-            e.mispredicted,
-            e.hist_bits,
-        )
+        (e.pc, e.taken, e.predicted, e.mispredicted, e.hist_bits)
     };
     if let Some(pred_dir) = predicted {
         let hist = GlobalHistory::from_bits(hist_bits);

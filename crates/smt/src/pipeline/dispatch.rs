@@ -85,10 +85,21 @@ pub(super) fn run(sim: &mut SmtSimulator) {
     sim.res.dispatch_rr = (sim.res.dispatch_rr + 1) % n;
     // Normal threads dispatch before speculative (runahead) threads:
     // runahead work fills leftover bandwidth only (§3.2: a runahead
-    // thread must not limit the resources of other threads).
-    let mut order: Vec<ThreadId> = (0..n).map(|k| (start + k) % n).collect();
-    order.sort_by_key(|&t| sim.threads[t].mode == ExecMode::Runahead);
-    for tid in order {
+    // thread must not limit the resources of other threads). Two passes
+    // over the rotation replace a stable sort-by-mode; stack scratch
+    // (n <= 8) because this runs every cycle and must not allocate.
+    let mut order = [0usize; 8];
+    let mut filled = 0;
+    for speculative in [false, true] {
+        for k in 0..n {
+            let t = (start + k) % n;
+            if (sim.threads[t].mode == ExecMode::Runahead) == speculative {
+                order[filled] = t;
+                filled += 1;
+            }
+        }
+    }
+    for &tid in &order[..n] {
         while budget > 0 {
             let ready = matches!(
                 sim.threads[tid].frontend.front(),
@@ -119,24 +130,39 @@ pub(super) enum DispatchDecision {
     Dispatch,
 }
 
-/// The once-per-attempt static decode of a fetched instruction: both
-/// the gate and the mutating dispatch paths consume this, so the
-/// operand/queue classification happens exactly once.
-struct Decoded {
+/// The static decode of one instruction: operand and queue
+/// classification, a pure function of the instruction.
+///
+/// Decoding is precomputed per *program counter* into a per-thread table
+/// at simulator construction ([`decode_program`]): the dispatch gate
+/// runs for every dispatch attempt *and* for every cycle-skip
+/// quiescence probe, so re-classifying the instruction each time is
+/// measurable hot-path work for zero information.
+#[derive(Clone, Copy)]
+pub(super) struct Decoded {
     kind: InstructionKind,
     iq_kind: Option<IqKind>,
     dst_arch: Option<ArchReg>,
     srcs_arch: [Option<ArchReg>; 2],
+    is_fp_compute: bool,
+    is_fence: bool,
 }
 
-fn decode(f: &Fetched) -> Decoded {
-    let kind = f.rec.inst.kind();
-    Decoded {
-        kind,
-        iq_kind: iq_kind(kind),
-        dst_arch: dst_reg(&f.rec.inst),
-        srcs_arch: src_regs(&f.rec.inst),
-    }
+/// Builds the static decode table of a program, indexed by `Pc::index`.
+pub(super) fn decode_program(prog: &rat_isa::Program) -> Box<[Decoded]> {
+    prog.iter()
+        .map(|inst| {
+            let kind = inst.kind();
+            Decoded {
+                kind,
+                iq_kind: iq_kind(kind),
+                dst_arch: dst_reg(inst),
+                srcs_arch: src_regs(inst),
+                is_fp_compute: inst.is_fp_compute(),
+                is_fence: matches!(inst, Instruction::Fence),
+            }
+        })
+        .collect()
 }
 
 /// The side-effect-free dispatch gate for `tid`'s frontend head.
@@ -144,7 +170,8 @@ pub(super) fn decide(sim: &SmtSimulator, tid: ThreadId) -> DispatchDecision {
     let Some(f) = sim.threads[tid].frontend.front() else {
         return DispatchDecision::Blocked;
     };
-    gate(sim, tid, f, &decode(f))
+    let d = sim.threads[tid].decode[f.pc.index()];
+    gate(sim, tid, f, &d)
 }
 
 /// The gate logic over an already-decoded head instruction.
@@ -195,9 +222,9 @@ fn folds_in_runahead(sim: &SmtSimulator, tid: ThreadId, f: &Fetched, d: &Decoded
         .iter()
         .flatten()
         .any(|r| sim.threads[tid].arch_inv[r.flat_index()]);
-    let drop_fp = sim.cfg.runahead.drop_fp && f.rec.inst.is_fp_compute();
-    let is_fence = matches!(f.rec.inst, Instruction::Fence);
-    src_inv || drop_fp || is_fence
+    let _ = f;
+    let drop_fp = sim.cfg.runahead.drop_fp && d.is_fp_compute;
+    src_inv || drop_fp || d.is_fence
 }
 
 /// Attempts to rename+dispatch the next fetched instruction of `tid`.
@@ -208,7 +235,7 @@ fn try_dispatch_one(sim: &mut SmtSimulator, tid: ThreadId) -> bool {
         return false;
     };
     let f = *f;
-    let d = decode(&f);
+    let d = sim.threads[tid].decode[f.pc.index()];
     match gate(sim, tid, &f, &d) {
         DispatchDecision::Blocked => false,
         DispatchDecision::Fold => {
@@ -232,15 +259,15 @@ fn fold_one(sim: &mut SmtSimulator, tid: ThreadId, d: &Decoded) {
         // An INV branch follows the predicted path; if the
         // prediction disagrees with the correct path, the
         // runahead thread diverges (§3.1 "most likely path").
-        if f.predicted != Some(f.rec.taken) && !sim.threads[tid].diverged {
+        if f.predicted != Some(f.taken) && !sim.threads[tid].diverged {
             sim.threads[tid].diverged = true;
             sim.stats.threads[tid].runahead_divergences += 1;
         }
-        if sim.threads[tid].branch_gate == Some(f.rec.seq) {
+        if sim.threads[tid].branch_gate == Some(f.seq) {
             sim.threads[tid].branch_gate = None;
         }
     }
-    push_folded_entry(sim, tid, &f);
+    push_folded_entry(sim, tid, &f, d.kind);
 }
 
 /// Renames and allocates the head instruction (every gate in [`gate`]
@@ -252,13 +279,15 @@ fn dispatch_one(sim: &mut SmtSimulator, tid: ThreadId, d: &Decoded) {
         iq_kind,
         dst_arch,
         srcs_arch,
+        is_fp_compute,
+        ..
     } = d;
 
     // --- rename & allocate ---
     let f = sim.threads[tid].frontend.pop_front().expect("checked");
     sim.res.gseq += 1;
     let gseq = sim.res.gseq;
-    let seq = f.rec.seq;
+    let seq = f.seq;
 
     let mut srcs: [Option<(RegClass, PhysReg)>; 2] = [None, None];
     let mut waiting = 0u8;
@@ -291,7 +320,7 @@ fn dispatch_one(sim: &mut SmtSimulator, tid: ThreadId, d: &Decoded) {
             sim.threads[tid].fp_user = true;
         }
     }
-    if f.rec.inst.is_fp_compute() {
+    if is_fp_compute {
         sim.threads[tid].fp_user = true;
     }
 
@@ -304,18 +333,19 @@ fn dispatch_one(sim: &mut SmtSimulator, tid: ThreadId, d: &Decoded) {
         sim.res.iqs.insert(k, tid);
     }
     if matches!(kind, InstructionKind::Store) {
-        if let Some(addr) = f.rec.eff_addr {
+        if let Some(addr) = f.eff_addr {
             sim.threads[tid].add_store_addr(addr);
         }
     }
 
     let mode = sim.threads[tid].mode;
     sim.threads[tid].rob.push(RobEntry {
-        tid,
         seq,
         gseq,
-        rec: f.rec,
         kind,
+        pc: f.pc,
+        eff_addr: f.eff_addr,
+        taken: f.taken,
         mode,
         state,
         inv: false,
@@ -350,14 +380,15 @@ fn reg_class(arch: ArchReg) -> RegClass {
     }
 }
 
-fn push_folded_entry(sim: &mut SmtSimulator, tid: ThreadId, f: &Fetched) {
+fn push_folded_entry(sim: &mut SmtSimulator, tid: ThreadId, f: &Fetched, kind: InstructionKind) {
     sim.res.gseq += 1;
     sim.threads[tid].rob.push(RobEntry {
-        tid,
-        seq: f.rec.seq,
+        seq: f.seq,
         gseq: sim.res.gseq,
-        rec: f.rec,
-        kind: f.rec.inst.kind(),
+        kind,
+        pc: f.pc,
+        eff_addr: f.eff_addr,
+        taken: f.taken,
         mode: ExecMode::Runahead,
         state: EntryState::Done,
         inv: true,

@@ -16,10 +16,15 @@ use super::{pred_key, tag_addr, Fetched, SmtSimulator, Thread};
 /// Runs the fetch stage for one cycle.
 pub(super) fn run(sim: &mut SmtSimulator) {
     let n = sim.threads.len();
-    let order: Vec<ThreadId> = match sim.cfg.policy {
+    // Thread-order scratch on the stack (n <= 8): the fetch stage runs
+    // every cycle and must not allocate or call into the generic sort.
+    let mut order = [0usize; 8];
+    match sim.cfg.policy {
         PolicyKind::RoundRobin => {
             let start = sim.res.fetch_rr % n;
-            (0..n).map(|k| (start + k) % n).collect()
+            for (k, slot) in order[..n].iter_mut().enumerate() {
+                *slot = (start + k) % n;
+            }
         }
         _ => {
             // ICOUNT: ascending in-flight front-end instruction count.
@@ -27,23 +32,38 @@ pub(super) fn run(sim: &mut SmtSimulator) {
             // strictly lower priority than any normal thread — this is
             // how a runahead thread avoids "limiting the available
             // resources for other threads" (§3.2) at the fetch stage.
-            let mut order: Vec<ThreadId> = (0..n).collect();
-            let icounts: Vec<usize> = (0..n)
-                .map(|t| sim.threads[t].icount(&sim.res.iqs, t))
-                .collect();
+            //
+            // The (speculative, icount, rotation-rank) key packs into one
+            // u64 with the thread id in the low byte (ranks are unique,
+            // so keys are unique and stability is moot); an insertion
+            // sort over at most 8 u64s replaces the generic sort.
             let start = sim.res.fetch_rr % n; // stable tie-break rotation
-            order.sort_by_key(|&t| {
-                let speculative = sim.threads[t].mode == ExecMode::Runahead;
-                (speculative, icounts[t], (t + n - start) % n)
-            });
-            order
+            let mut keys = [u64::MAX; 8];
+            for (t, key) in keys[..n].iter_mut().enumerate() {
+                let speculative = (sim.threads[t].mode == ExecMode::Runahead) as u64;
+                let icount = sim.threads[t].icount(&sim.res.iqs, t) as u64;
+                let rank = ((t + n - start) % n) as u64;
+                *key = (speculative << 40) | (icount << 16) | (rank << 8) | t as u64;
+            }
+            for i in 1..n {
+                let k = keys[i];
+                let mut j = i;
+                while j > 0 && keys[j - 1] > k {
+                    keys[j] = keys[j - 1];
+                    j -= 1;
+                }
+                keys[j] = k;
+            }
+            for (key, slot) in keys[..n].iter().zip(order[..n].iter_mut()) {
+                *slot = (key & 0xff) as usize;
+            }
         }
     };
     sim.res.fetch_rr += 1;
 
     let mut slots = sim.cfg.width;
     let mut threads_used = 0;
-    for tid in order {
+    for &tid in &order[..n] {
         if slots == 0 || threads_used >= sim.cfg.fetch_threads {
             break;
         }
@@ -124,7 +144,10 @@ fn fetch_one(
             }
         }
         t.frontend.push_back(Fetched {
-            rec,
+            seq: rec.seq,
+            pc: rec.pc,
+            eff_addr: rec.eff_addr,
+            taken: rec.taken,
             predicted,
             mispredicted,
             hist_bits,

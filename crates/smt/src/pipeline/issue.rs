@@ -49,15 +49,19 @@ pub(super) fn run(sim: &mut SmtSimulator) {
             let Some((gseq, tid, seq)) = sim.res.iqs.pop_ready(kind) else {
                 break;
             };
-            {
+            // Validate the candidate and snapshot the fields issue needs
+            // in a single ROB lookup (candidates may be stale: squashed
+            // and possibly replaced by a re-dispatched instance).
+            let snap = {
                 let Some(e) = sim.threads[tid].rob.get(seq) else {
                     continue;
                 };
                 if e.gseq != gseq || e.state != EntryState::WaitIssue || e.waiting != 0 {
                     continue;
                 }
-            }
-            match issue_one(sim, tid, seq) {
+                (e.srcs, e.kind, e.eff_addr, e.inv)
+            };
+            match issue_one(sim, tid, seq, snap) {
                 IssueOutcome::Issued => {
                     budget -= 1;
                     fu -= 1;
@@ -75,15 +79,20 @@ pub(super) fn run(sim: &mut SmtSimulator) {
     sim.res.retry_scratch = retries;
 }
 
-fn issue_one(sim: &mut SmtSimulator, tid: ThreadId, seq: u64) -> IssueOutcome {
-    // Gather what we need, holding the borrow briefly. Memory ops
-    // execute under the thread's *current* mode: instructions in
-    // flight when runahead begins become runahead instructions
-    // (their L2 misses turn INV instead of blocking pseudo-retire).
-    let (srcs, entry_kind, eff_addr, inv_already) = {
-        let e = sim.threads[tid].rob.get(seq).expect("issuing entry");
-        (e.srcs, e.kind, e.rec.eff_addr, e.inv)
-    };
+type IssueSnap = (
+    [Option<(RegClass, PhysReg)>; 2],
+    InstructionKind,
+    Option<u64>,
+    bool,
+);
+
+fn issue_one(sim: &mut SmtSimulator, tid: ThreadId, seq: u64, snap: IssueSnap) -> IssueOutcome {
+    // The caller snapshotted what we need while validating the
+    // candidate. Memory ops execute under the thread's *current* mode:
+    // instructions in flight when runahead begins become runahead
+    // instructions (their L2 misses turn INV instead of blocking
+    // pseudo-retire).
+    let (srcs, entry_kind, eff_addr, inv_already) = snap;
     let mode = sim.threads[tid].mode;
     let reg_inv = |class: RegClass, p: PhysReg| sim.res.rf_ref(class).is_inv(p);
     let src_inv = srcs.iter().flatten().any(|&(class, p)| reg_inv(class, p));

@@ -41,7 +41,7 @@ mod tests;
 use std::collections::{HashSet, VecDeque};
 
 use rat_bpred::GlobalHistory;
-use rat_isa::{ExecRecord, Pc};
+use rat_isa::Pc;
 use rat_mem::Hierarchy;
 
 use crate::config::{RunaheadVariant, SmtConfig};
@@ -55,9 +55,23 @@ use crate::types::{Cycle, ExecMode, IqKind, PhysReg, RegClass, ThreadId};
 use resources::SharedResources;
 
 /// An instruction sitting in a thread's fetch buffer.
+///
+/// Deliberately small: the execution record itself stays in the oracle's
+/// replay buffer (the authoritative store of in-flight records); the
+/// fetch buffer carries only the sequence number, the hot scalars
+/// dispatch reads (PC — also the decode-table index — effective address
+/// and branch direction), and the branch-prediction bookkeeping made at
+/// fetch time.
 #[derive(Clone, Copy, Debug)]
 struct Fetched {
-    rec: ExecRecord,
+    seq: u64,
+    pc: Pc,
+    /// Effective address for loads/stores (copied out of the record: the
+    /// issue stage and store-set bookkeeping read it on their hot paths).
+    eff_addr: Option<u64>,
+    /// Correct branch/jump direction (folded-branch divergence check and
+    /// branch resolution read it without touching the record).
+    taken: bool,
     predicted: Option<bool>,
     mispredicted: bool,
     hist_bits: u64,
@@ -77,6 +91,9 @@ struct Episode {
 /// [`SharedResources`].
 struct Thread {
     oracle: OracleThread,
+    /// Static decode table of the thread's program, indexed by
+    /// `Pc::index` (see [`dispatch::decode_program`]).
+    decode: Box<[dispatch::Decoded]>,
     frontend: VecDeque<Fetched>,
     rob: ThreadRob,
     rename: RenameTables,
@@ -170,6 +187,9 @@ pub struct SmtSimulator {
     /// Event-driven fast-forwarding over dead cycles (default on; see
     /// [`SmtSimulator::set_cycle_skip`]).
     skip_enabled: bool,
+    /// Number of threads currently in a runahead episode (fast path for
+    /// the per-cycle exit check).
+    episodes_live: usize,
 }
 
 impl SmtSimulator {
@@ -204,6 +224,7 @@ impl SmtSimulator {
                 p
             });
             threads.push(Thread {
+                decode: dispatch::decode_program(cpu.program()),
                 oracle: OracleThread::new(cpu),
                 frontend: VecDeque::with_capacity(cfg.fetch_buffer),
                 rob: ThreadRob::new(),
@@ -233,9 +254,27 @@ impl SmtSimulator {
             now: 0,
             last_progress: 0,
             skip_enabled: true,
+            episodes_live: 0,
             threads,
             res,
             cfg,
+        }
+    }
+
+    /// Enables or disables fetch-replay memoization (on by default).
+    ///
+    /// With replay on, every squash (runahead exit, FLUSH) rewinds the
+    /// fetch oracle by moving a cursor into a per-thread seq-indexed
+    /// replay buffer; the squashed span is then re-fetched from memoized
+    /// [`rat_isa::ExecRecord`]s instead of functionally re-executed, and the
+    /// memory write journal is neither rolled back nor re-recorded. The
+    /// oracle is deterministic over private state, so the served records
+    /// are bit-identical to what re-execution would compute — enforced
+    /// by `tests/replay_cache.rs` across all policies; `false` is the
+    /// `--no-replay` ablation reference.
+    pub fn set_fetch_replay(&mut self, enabled: bool) {
+        for t in &mut self.threads {
+            t.oracle.set_replay(enabled);
         }
     }
 
@@ -527,5 +566,6 @@ impl SmtSimulator {
         // `SimStats` snapshots carry them (bus occupancy, port
         // conflicts).
         self.stats.mem_events = *self.res.hier.event_stats();
+        self.stats.fetch_replays = self.threads.iter().map(|t| t.oracle.replayed_count()).sum();
     }
 }

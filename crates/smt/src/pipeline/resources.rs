@@ -10,6 +10,7 @@
 //! the single [`SharedResources::allows_dispatch`] entry point instead of
 //! ad-hoc fields sprinkled over the pipeline.
 
+use std::cell::Cell;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -26,6 +27,161 @@ use crate::types::{Cycle, IqKind, PhysReg, RegClass, ThreadId};
 
 use super::Thread;
 
+/// One pending completion event.
+type CompletionEvent = (ThreadId, u64, u64);
+
+/// A timing wheel for completion events, replacing a global binary heap.
+///
+/// The wheel holds one bucket per cycle over a sliding horizon; events
+/// beyond the horizon overflow into a small binary heap and migrate into
+/// buckets as the horizon advances. Scheduling is a `Vec` push, and the
+/// per-cycle drain sorts one (tiny) bucket — far cheaper than millions
+/// of 32-byte heap sifts, while popping events in exactly the heap's
+/// `(ready_at, tid, seq, gseq)` order. Bucket capacity recycles via
+/// swap, so the steady state allocates nothing.
+struct CompletionWheel {
+    /// `slots[c & mask]` holds the events due at cycle `c` for
+    /// `c ∈ [base, base + slots.len())`.
+    slots: Box<[Vec<CompletionEvent>]>,
+    mask: u64,
+    /// Every cycle `< base` has been fully drained.
+    base: Cycle,
+    /// Events currently in `slots`.
+    near_count: usize,
+    /// Events at or beyond `base + slots.len()` (rare: queued-up memory
+    /// bus transfers can push fills past the horizon).
+    far: BinaryHeap<Reverse<(Cycle, ThreadId, u64, u64)>>,
+    /// The bucket being drained (sorted), and the drain position.
+    cur: Vec<CompletionEvent>,
+    cur_idx: usize,
+    /// Monotone lower-bound cursor for [`Self::peek`]: no event exists in
+    /// `[base, next_due)`. Pushes lower it; peeks advance it. `Cell` so
+    /// the read-only peek can memoize its scan.
+    next_due: Cell<Cycle>,
+}
+
+impl CompletionWheel {
+    /// Horizon width. Must exceed the longest single-event latency in the
+    /// common case (memory latency + L2 + bus queueing); rarer, longer
+    /// waits take the `far` overflow path.
+    const SLOTS: usize = 1024;
+
+    fn new() -> Self {
+        CompletionWheel {
+            slots: (0..Self::SLOTS).map(|_| Vec::new()).collect(),
+            mask: (Self::SLOTS - 1) as u64,
+            base: 0,
+            near_count: 0,
+            far: BinaryHeap::new(),
+            cur: Vec::new(),
+            cur_idx: 0,
+            next_due: Cell::new(0),
+        }
+    }
+
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.near_count == 0 && self.far.is_empty() && self.cur_idx >= self.cur.len()
+    }
+
+    fn push(&mut self, ready_at: Cycle, tid: ThreadId, seq: u64, gseq: u64) {
+        debug_assert!(ready_at >= self.base, "completion scheduled in the past");
+        if ready_at - self.base < self.slots.len() as u64 {
+            self.slots[(ready_at & self.mask) as usize].push((tid, seq, gseq));
+            self.near_count += 1;
+        } else {
+            self.far.push(Reverse((ready_at, tid, seq, gseq)));
+        }
+        if ready_at < self.next_due.get() {
+            self.next_due.set(ready_at);
+        }
+    }
+
+    /// Moves far events that fell inside the horizon into their buckets.
+    fn migrate_far(&mut self) {
+        let horizon = self.base + self.slots.len() as u64;
+        while let Some(&Reverse((ready, tid, seq, gseq))) = self.far.peek() {
+            if ready >= horizon {
+                break;
+            }
+            self.far.pop();
+            self.slots[(ready & self.mask) as usize].push((tid, seq, gseq));
+            self.near_count += 1;
+        }
+    }
+
+    /// Pops the next event due at or before `now`, in `(ready, tid, seq,
+    /// gseq)` order.
+    fn pop_due(&mut self, now: Cycle) -> Option<CompletionEvent> {
+        loop {
+            if self.cur_idx < self.cur.len() {
+                let ev = self.cur[self.cur_idx];
+                self.cur_idx += 1;
+                return Some(ev);
+            }
+            if self.base > now {
+                return None;
+            }
+            // Keep the horizon fresh on *every* `base` advance — a far
+            // event whose slot the walk is about to cross must land in
+            // its bucket before the walk passes it, or it would alias to
+            // a cycle one wheel-turn later. `migrate_far` is one heap
+            // peek when nothing is due to move.
+            self.migrate_far();
+            if self.near_count == 0 {
+                // Nothing in the horizon; far events (if any) are beyond
+                // `base + SLOTS`, hence beyond `now` only if the horizon
+                // still covers `now` — advance and re-check.
+                if self.far.is_empty() {
+                    self.base = now + 1;
+                    return None;
+                }
+                self.base = (now + 1).min(self.base + self.slots.len() as u64);
+                continue;
+            }
+            // Walk to the next non-empty bucket at or before `now`.
+            let slot = (self.base & self.mask) as usize;
+            if self.slots[slot].is_empty() {
+                self.base += 1;
+                continue;
+            }
+            self.cur.clear();
+            self.cur_idx = 0;
+            std::mem::swap(&mut self.cur, &mut self.slots[slot]);
+            self.near_count -= self.cur.len();
+            self.cur.sort_unstable();
+            self.base += 1;
+        }
+    }
+
+    /// The due cycle of the earliest pending event, if any.
+    fn peek(&self) -> Option<Cycle> {
+        if self.cur_idx < self.cur.len() {
+            // Mid-drain: the drained bucket's cycle is `base - 1`.
+            return Some(self.base - 1);
+        }
+        let far_head = self.far.peek().map(|&Reverse((ready, ..))| ready);
+        if self.near_count == 0 {
+            return far_head;
+        }
+        // Scan from the memoized cursor (never below base) to the next
+        // non-empty bucket; amortized O(1) because the cursor and `base`
+        // only move forward and pushes lower the cursor explicitly.
+        let mut c = self.next_due.get().max(self.base);
+        loop {
+            debug_assert!(c < self.base + self.slots.len() as u64);
+            if !self.slots[(c & self.mask) as usize].is_empty() {
+                self.next_due.set(c);
+                return Some(match far_head {
+                    Some(f) if f < c => f,
+                    _ => c,
+                });
+            }
+            c += 1;
+        }
+    }
+}
+
 /// Shared back-end structures plus arbitration state.
 pub(super) struct SharedResources {
     pub(super) int_rf: PhysRegFile,
@@ -33,8 +189,8 @@ pub(super) struct SharedResources {
     pub(super) iqs: IssueQueues,
     pub(super) hier: Hierarchy,
     pub(super) pred: PerceptronPredictor,
-    /// Pending completion events: `(ready_at, tid, seq, gseq)`.
-    completions: BinaryHeap<Reverse<(Cycle, ThreadId, u64, u64)>>,
+    /// Pending completion events, bucketed by due cycle.
+    completions: CompletionWheel,
     /// Global dispatch-order stamp (unique per dispatched instance).
     pub(super) gseq: u64,
     /// Shared-ROB occupancy (the 512-entry capacity budget).
@@ -53,8 +209,6 @@ pub(super) struct SharedResources {
     pub(super) conv_scratch: Vec<(RegClass, PhysReg, Option<ArchReg>)>,
     /// Reusable scratch for runahead entry's episode register sweep.
     pub(super) dst_scratch: Vec<(RegClass, PhysReg)>,
-    /// Reusable scratch for draining wakeup chains in `wake_register`.
-    waiter_scratch: Vec<(ThreadId, u64, u64)>,
 }
 
 impl SharedResources {
@@ -71,7 +225,7 @@ impl SharedResources {
             iqs: IssueQueues::new(cfg.iq_size, n, cfg.int_regs, cfg.fp_regs),
             hier: Hierarchy::new(cfg.hierarchy),
             pred: PerceptronPredictor::new(cfg.bpred_table, cfg.bpred_history),
-            completions: BinaryHeap::new(),
+            completions: CompletionWheel::new(),
             gseq: 0,
             rob_occupancy: 0,
             commit_rr: 0,
@@ -82,7 +236,6 @@ impl SharedResources {
             retry_scratch: Vec::new(),
             conv_scratch: Vec::new(),
             dst_scratch: Vec::new(),
-            waiter_scratch: Vec::new(),
         }
     }
 
@@ -119,23 +272,22 @@ impl SharedResources {
         seq: u64,
         gseq: u64,
     ) {
-        self.completions.push(Reverse((ready_at, tid, seq, gseq)));
+        self.completions.push(ready_at, tid, seq, gseq);
     }
 
-    /// Pops the next completion event due at or before `now`.
+    /// Pops the next completion event due at or before `now`, in
+    /// `(ready_at, tid, seq, gseq)` order.
     pub(super) fn pop_due_completion(&mut self, now: Cycle) -> Option<(ThreadId, u64, u64)> {
-        let &Reverse((ready, tid, seq, gseq)) = self.completions.peek()?;
-        if ready > now {
+        if self.completions.is_empty() {
             return None;
         }
-        self.completions.pop();
-        Some((tid, seq, gseq))
+        self.completions.pop_due(now)
     }
 
     /// The due cycle of the earliest pending completion event, if any —
     /// one bound on how far the cycle-skipping driver may jump the clock.
     pub(super) fn peek_completion(&self) -> Option<Cycle> {
-        self.completions.peek().map(|&Reverse((ready, ..))| ready)
+        self.completions.peek()
     }
 
     /// Marks a produced register ready (and possibly INV), waking waiters
@@ -154,24 +306,21 @@ impl SharedResources {
             }
             rf.set_ready(p);
         }
-        // Drain into owned scratch (taken to appease the borrow checker;
-        // capacity survives the round-trip, so no steady-state allocation).
-        let mut waiters = std::mem::take(&mut self.waiter_scratch);
-        self.iqs.take_waiters_into(class, p, &mut waiters);
-        for &(tid, seq, gseq) in &waiters {
-            let Some(e) = threads[tid].rob.get_mut(seq) else {
-                continue;
-            };
+        // Fused drain + requeue (see `IssueQueues::wake_waiters`): the
+        // callback validates each waiter against the ROB and reports the
+        // queue to requeue it on once its last operand arrives.
+        self.iqs.wake_waiters(class, p, |tid, seq, gseq| {
+            let e = threads[tid].rob.get_mut(seq)?;
             if e.gseq != gseq || e.state != EntryState::WaitIssue || e.waiting == 0 {
-                continue;
+                return None;
             }
             e.waiting -= 1;
             if e.waiting == 0 {
-                let kind = e.iq.expect("waiting entry sits in an IQ");
-                self.iqs.push_ready(kind, e.gseq, tid, seq);
+                Some(e.iq.expect("waiting entry sits in an IQ"))
+            } else {
+                None
             }
-        }
-        self.waiter_scratch = waiters;
+        });
     }
 
     // ---- policy dispatch gate ----
@@ -284,5 +433,69 @@ impl SharedResources {
             }
         }
         true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::CompletionWheel;
+
+    #[test]
+    fn wheel_pops_in_ready_tid_seq_order() {
+        let mut w = CompletionWheel::new();
+        w.push(5, 1, 10, 100);
+        w.push(3, 0, 7, 70);
+        w.push(5, 0, 9, 90);
+        assert_eq!(w.peek(), Some(3));
+        assert_eq!(w.pop_due(2), None);
+        assert_eq!(w.pop_due(5), Some((0, 7, 70)));
+        assert_eq!(w.pop_due(5), Some((0, 9, 90)));
+        assert_eq!(w.pop_due(5), Some((1, 10, 100)));
+        assert_eq!(w.pop_due(5), None);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn far_event_survives_long_empty_walk() {
+        // A far event (beyond the wheel horizon) must not be walked past
+        // when `base` advances across its slot during an empty-bucket
+        // scan — the regression mode is slot aliasing one wheel turn
+        // later.
+        let mut w = CompletionWheel::new();
+        let far = CompletionWheel::SLOTS as u64 + 600;
+        w.push(far, 0, 1, 1); // beyond base(0) + SLOTS: far heap
+        w.push(900, 0, 2, 2); // near anchor keeps near_count > 0
+                              // Walk a long dead span that ends before either event.
+        assert_eq!(w.pop_due(800), None);
+        assert_eq!(w.peek(), Some(900));
+        // Drain the near anchor, then cross the far event's cycle.
+        assert_eq!(w.pop_due(1000), Some((0, 2, 2)));
+        assert_eq!(w.pop_due(1000), None);
+        assert_eq!(w.peek(), Some(far));
+        assert_eq!(
+            w.pop_due(far),
+            Some((0, 1, 1)),
+            "far event delivered on time"
+        );
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn far_event_crossed_in_one_jump_is_still_delivered() {
+        // Cycle skipping can jump the clock far past the horizon in one
+        // hop; every pending event must still drain, in order.
+        let mut w = CompletionWheel::new();
+        let a = CompletionWheel::SLOTS as u64 * 3 + 17;
+        w.push(a, 1, 1, 1);
+        w.push(a + CompletionWheel::SLOTS as u64, 0, 2, 2);
+        assert_eq!(
+            w.pop_due(a + 10 * CompletionWheel::SLOTS as u64),
+            Some((1, 1, 1))
+        );
+        assert_eq!(
+            w.pop_due(a + 10 * CompletionWheel::SLOTS as u64),
+            Some((0, 2, 2))
+        );
+        assert!(w.is_empty());
     }
 }

@@ -10,8 +10,6 @@
 //! swept, the rename checkpoint (`fmap := amap`) is restored, and the
 //! fetch oracle rewinds to the trigger load.
 
-use rat_isa::ExecRecord;
-
 use crate::rob::{EntryState, RobEntry};
 use crate::types::{Cycle, ExecMode, ThreadId};
 
@@ -19,6 +17,11 @@ use super::{Episode, SmtSimulator};
 
 /// Exits every episode whose trigger fill has arrived.
 pub(super) fn process_exits(sim: &mut SmtSimulator) {
+    // Fast path: no thread is in runahead (the common cycle under every
+    // non-RaT policy, and most cycles even under RaT).
+    if sim.episodes_live == 0 {
+        return;
+    }
     for tid in 0..sim.threads.len() {
         if let Some(ep) = sim.threads[tid].episode {
             if sim.now >= ep.exit_at {
@@ -45,6 +48,7 @@ pub(super) fn enter_runahead(sim: &mut SmtSimulator, tid: ThreadId) {
         entered_at: sim.now,
         exit_at,
     });
+    sim.episodes_live += 1;
     sim.stats.threads[tid].runahead_episodes += 1;
 
     // Invalidate the trigger and any other in-flight L2-miss loads:
@@ -93,6 +97,7 @@ pub(super) fn enter_runahead(sim: &mut SmtSimulator, tid: ThreadId) {
 
 fn exit_runahead(sim: &mut SmtSimulator, tid: ThreadId) {
     let ep = sim.threads[tid].episode.take().expect("episode to exit");
+    sim.episodes_live -= 1;
 
     // Squash the thread's entire window (all of it is runahead work).
     while let Some(e) = sim.threads[tid].rob.pop_back() {
@@ -122,7 +127,7 @@ fn exit_runahead(sim: &mut SmtSimulator, tid: ThreadId) {
         thread.ra_inv_words.clear();
         // Rewind the fetch oracle to the retirement point (= the
         // trigger load's PC: it re-executes and now hits in the cache).
-        thread.oracle.rewind(std::iter::empty());
+        thread.oracle.rewind_to(ep.trigger_seq);
         debug_assert_eq!(thread.oracle.next_seq(), ep.trigger_seq);
     }
     let ts = &mut sim.stats.threads[tid];
@@ -157,7 +162,7 @@ pub(super) fn cleanup_squashed(
         sim.res.free_if_episode_owned(class, dst, tid);
     }
     if e.is_store() {
-        if let Some(addr) = e.rec.eff_addr {
+        if let Some(addr) = e.eff_addr {
             sim.threads[tid].remove_store_addr(addr);
         }
     }
@@ -187,8 +192,11 @@ pub(super) fn flush_thread(sim: &mut SmtSimulator, tid: ThreadId, keep_seq: u64,
     sim.threads[tid].icache_wait = 0;
     sim.stats.threads[tid].squashed += squashed_frontend;
 
-    let replay: Vec<ExecRecord> = sim.threads[tid].rob.iter().map(|e| e.rec).collect();
-    sim.threads[tid].oracle.rewind(replay.into_iter());
+    // The replay buffer already holds every surviving record, so the
+    // rewind is a cursor move — no per-squash record collection at all
+    // (the pre-replay design copied the surviving window into a fresh
+    // `Vec<ExecRecord>` on every flush and episode exit).
+    sim.threads[tid].oracle.rewind_to(keep_seq + 1);
     debug_assert_eq!(sim.threads[tid].oracle.next_seq(), keep_seq + 1);
 
     sim.threads[tid].longlat_gate = sim.threads[tid].longlat_gate.max(resume_at);

@@ -3,6 +3,22 @@
 
 use crate::types::{PhysReg, ThreadId};
 
+/// Per-register state, packed into one word so every register operation
+/// — alloc, free, wakeup, readiness probe — touches a single cache line
+/// instead of one line per parallel flag vector.
+#[derive(Clone, Copy, Debug, Default)]
+struct RegState {
+    /// Bit-packed READY / INV / EPISODE / ALLOCATED flags.
+    flags: u8,
+    /// Owning thread (valid while allocated).
+    owner: u8,
+}
+
+const READY: u8 = 1 << 0;
+const INV: u8 = 1 << 1;
+const EPISODE: u8 = 1 << 2;
+const ALLOCATED: u8 = 1 << 3;
+
 /// One class (INT or FP) of physical registers.
 ///
 /// Besides the usual free list and per-register ready bit, each register
@@ -17,12 +33,8 @@ use crate::types::{PhysReg, ThreadId};
 ///   bit, which is what pins them.
 #[derive(Clone, Debug)]
 pub struct PhysRegFile {
-    ready: Vec<bool>,
-    inv: Vec<bool>,
-    episode: Vec<bool>,
+    regs: Vec<RegState>,
     free: Vec<PhysReg>,
-    owner: Vec<ThreadId>,
-    allocated: Vec<bool>,
     per_thread: Vec<usize>,
     capacity: usize,
 }
@@ -35,14 +47,18 @@ impl PhysRegFile {
     /// Panics if `capacity == 0` or `num_threads == 0`.
     pub fn new(capacity: usize, num_threads: usize) -> Self {
         assert!(capacity > 0, "register file must have capacity");
+        assert!(
+            capacity <= PhysReg::MAX as usize,
+            "register file too large for 16-bit physical register names"
+        );
         assert!(num_threads > 0, "need at least one thread");
+        assert!(
+            num_threads <= u8::MAX as usize,
+            "owner field is a u8 thread id"
+        );
         PhysRegFile {
-            ready: vec![false; capacity],
-            inv: vec![false; capacity],
-            episode: vec![false; capacity],
-            free: (0..capacity).rev().collect(),
-            owner: vec![0; capacity],
-            allocated: vec![false; capacity],
+            regs: vec![RegState::default(); capacity],
+            free: (0..capacity as PhysReg).rev().collect(),
             per_thread: vec![0; num_threads],
             capacity,
         }
@@ -68,11 +84,10 @@ impl PhysRegFile {
     /// when the free list is empty — the caller must stall dispatch.
     pub fn alloc(&mut self, tid: ThreadId) -> Option<PhysReg> {
         let p = self.free.pop()?;
-        self.ready[p] = false;
-        self.inv[p] = false;
-        self.episode[p] = false;
-        self.owner[p] = tid;
-        self.allocated[p] = true;
+        self.regs[p as usize] = RegState {
+            flags: ALLOCATED,
+            owner: tid as u8,
+        };
         self.per_thread[tid] += 1;
         Some(p)
     }
@@ -82,23 +97,21 @@ impl PhysRegFile {
     /// pseudo-retirement and re-allocated elsewhere.
     #[inline]
     pub fn owned_by(&self, p: PhysReg, tid: ThreadId) -> bool {
-        self.allocated[p] && self.owner[p] == tid
+        let r = self.regs[p as usize];
+        r.flags & ALLOCATED != 0 && r.owner as usize == tid
     }
 
     /// Returns `p` to the free list.
     ///
     /// # Panics
     ///
-    /// In debug builds, panics on double-free (register already free).
+    /// Panics on freeing a register not owned by `tid`.
     pub fn free(&mut self, p: PhysReg, tid: ThreadId) {
         assert!(
-            self.allocated[p] && self.owner[p] == tid,
+            self.owned_by(p, tid),
             "freeing register {p} not owned by thread {tid}"
         );
-        self.ready[p] = false;
-        self.inv[p] = false;
-        self.episode[p] = false;
-        self.allocated[p] = false;
+        self.regs[p as usize].flags = 0;
         debug_assert!(self.per_thread[tid] > 0);
         self.per_thread[tid] -= 1;
         self.free.push(p);
@@ -107,39 +120,39 @@ impl PhysRegFile {
     /// Marks `p` ready (its value — possibly bogus — is available).
     #[inline]
     pub fn set_ready(&mut self, p: PhysReg) {
-        self.ready[p] = true;
+        self.regs[p as usize].flags |= READY;
     }
 
     /// Whether `p` is ready.
     #[inline]
     pub fn is_ready(&self, p: PhysReg) -> bool {
-        self.ready[p]
+        self.regs[p as usize].flags & READY != 0
     }
 
     /// Sets the INV bit (bogus runahead value).
     #[inline]
     pub fn set_inv(&mut self, p: PhysReg) {
-        self.inv[p] = true;
+        self.regs[p as usize].flags |= INV;
     }
 
     /// Whether `p` carries a bogus value.
     #[inline]
     pub fn is_inv(&self, p: PhysReg) -> bool {
-        self.inv[p]
+        self.regs[p as usize].flags & INV != 0
     }
 
     /// Marks `p` as belonging to the current runahead episode of its
     /// owning thread.
     #[inline]
     pub fn mark_episode(&mut self, p: PhysReg) {
-        self.episode[p] = true;
+        self.regs[p as usize].flags |= EPISODE;
     }
 
     /// Whether `p` belongs to a runahead episode (and may therefore be
     /// freed by pseudo-retirement / episode exit).
     #[inline]
     pub fn in_episode(&self, p: PhysReg) -> bool {
-        self.episode[p]
+        self.regs[p as usize].flags & EPISODE != 0
     }
 }
 

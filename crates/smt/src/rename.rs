@@ -116,8 +116,8 @@ mod tests {
     use rat_isa::{FpReg, IntReg};
 
     fn fresh() -> RenameTables {
-        let ints: [PhysReg; 32] = std::array::from_fn(|i| i);
-        let fps: [PhysReg; 32] = std::array::from_fn(|i| 100 + i);
+        let ints: [PhysReg; 32] = std::array::from_fn(|i| i as PhysReg);
+        let fps: [PhysReg; 32] = std::array::from_fn(|i| 100 + i as PhysReg);
         RenameTables::new(ints, fps)
     }
 

@@ -9,9 +9,9 @@
 
 use std::collections::VecDeque;
 
-use rat_isa::{ArchReg, ExecRecord, InstructionKind};
+use rat_isa::{ArchReg, InstructionKind};
 
-use crate::types::{Cycle, ExecMode, IqKind, PhysReg, RegClass, ThreadId};
+use crate::types::{Cycle, ExecMode, IqKind, PhysReg, RegClass};
 
 /// Pipeline state of one in-flight instruction.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -27,19 +27,25 @@ pub enum EntryState {
 /// One reorder-buffer entry.
 #[derive(Clone, Debug)]
 pub struct RobEntry {
-    /// Owning hardware thread.
-    #[allow(dead_code)] // kept for diagnostics/debug formatting
-    pub tid: ThreadId,
     /// Per-thread dynamic sequence number (matches the oracle).
     pub seq: u64,
     /// Global dispatch order stamp — unique per dispatched instance, used
     /// for age-ordered select and to invalidate stale wakeups/completions
     /// after a squash re-uses sequence numbers.
     pub gseq: u64,
-    /// The functional execution record (PC, addresses, outcomes, result).
-    pub rec: ExecRecord,
-    /// Cached instruction kind.
+    /// Cached instruction kind. The full execution record is *not*
+    /// duplicated here: it lives in the thread's oracle replay buffer,
+    /// addressable by `seq`; only the scalars the pipeline reads on hot
+    /// paths (`pc`, `eff_addr`, `taken`) are carried — keeping the ROB
+    /// entry small enough that the simulator's biggest hot structure
+    /// stays cache-resident.
     pub kind: InstructionKind,
+    /// PC of the instruction (branch resolution, decode-table index).
+    pub pc: rat_isa::Pc,
+    /// Effective address for loads/stores (from the execution record).
+    pub eff_addr: Option<u64>,
+    /// Correct direction for control instructions.
+    pub taken: bool,
     /// Mode the instruction was dispatched in.
     pub mode: ExecMode,
     /// Pipeline state.
@@ -190,25 +196,14 @@ impl ThreadRob {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rat_isa::{Instruction, Pc};
-
     fn entry(seq: u64) -> RobEntry {
-        let rec = ExecRecord {
-            pc: Pc::new(0),
-            inst: Instruction::Nop,
-            next_pc: Pc::new(1),
-            eff_addr: None,
-            taken: false,
-            loaded: None,
-            result: None,
-            seq,
-        };
         RobEntry {
-            tid: 0,
             seq,
             gseq: seq,
-            rec,
             kind: InstructionKind::Nop,
+            pc: rat_isa::Pc::new(0),
+            eff_addr: None,
+            taken: false,
             mode: ExecMode::Normal,
             state: EntryState::Done,
             inv: false,

@@ -111,6 +111,13 @@ pub struct SimStats {
     pub skipped_cycles: Cycle,
     /// Number of contiguous skip jumps performed (cumulative).
     pub skip_spans: u64,
+    /// Fetches served from the per-thread replay buffers instead of
+    /// functional re-execution (cumulative, warmup included). Like
+    /// `skipped_cycles`, purely a simulator-performance diagnostic:
+    /// replayed records are bit-identical to what re-execution would
+    /// compute, so all other statistics match the `--no-replay`
+    /// ablation exactly.
+    pub fetch_replays: u64,
 }
 
 impl SimStats {

@@ -8,7 +8,13 @@ pub type ThreadId = usize;
 pub type Cycle = rat_mem::Cycle;
 
 /// A physical register name (index into one class's register file).
-pub type PhysReg = usize;
+///
+/// Deliberately 16-bit: physical register names are embedded (with their
+/// class) in every reorder-buffer entry's destination/source slots, and
+/// the ROB is the simulator's largest hot structure — a narrow name type
+/// keeps entries small enough to copy and cache cheaply. Register files
+/// are validated to at most [`PhysReg::MAX`] registers at construction.
+pub type PhysReg = u16;
 
 /// Register class: the paper's SMT has split INT/FP register files and
 /// issue resources.

@@ -22,6 +22,7 @@ fn main() {
         max_cycles: 200_000_000,
         seed: 42,
         no_skip: false,
+        no_replay: false,
     };
     let mut ucfg = SmtConfig::hpca2008_baseline();
     ucfg.hierarchy = HierarchyConfig::hpca2008_baseline().unlimited_bandwidth();
