@@ -42,6 +42,21 @@ use rat_isa::{
     Cpu, ExecRecord, FpReg, Instruction, IntReg, Pc, NUM_FP_ARCH_REGS, NUM_INT_ARCH_REGS,
 };
 
+/// The scalars the fetch stage consumes from one executed (or replayed)
+/// instruction — everything else stays in the replay buffer, which is
+/// the authoritative copy ([`OracleThread::record`] resolves the rest).
+#[derive(Clone, Copy, Debug)]
+pub struct FetchBrief {
+    /// Dynamic sequence number.
+    pub seq: u64,
+    /// PC of the instruction (also its decode-table index).
+    pub pc: Pc,
+    /// Effective address for loads/stores.
+    pub eff_addr: Option<u64>,
+    /// Correct branch/jump direction.
+    pub taken: bool,
+}
+
 /// A thread's functional front end: fetch-time emulator + retirement
 /// register file + fetch-replay buffer.
 #[derive(Debug)]
@@ -163,7 +178,43 @@ impl OracleThread {
     }
 
     /// Functionally executes (or replays) the instruction at the fetch
+    /// PC, returning only the scalars the fetch stage consumes — the
+    /// full record stays in the replay buffer instead of being copied
+    /// out by value on every fetch.
+    #[inline]
+    pub fn fetch_step_brief(&mut self) -> FetchBrief {
+        let idx = (self.cursor - self.committed) as usize;
+        if idx < self.replay.len() {
+            // Only reachable with replay enabled: the eager rewind
+            // truncates the buffer to the cursor.
+            debug_assert!(self.replay_enabled);
+            let rec = &self.replay[idx];
+            debug_assert_eq!(rec.seq, self.cursor, "replay buffer out of sync");
+            self.cursor += 1;
+            self.replayed += 1;
+            return FetchBrief {
+                seq: rec.seq,
+                pc: rec.pc,
+                eff_addr: rec.eff_addr,
+                taken: rec.taken,
+            };
+        }
+        let rec = self.cpu.step();
+        debug_assert_eq!(rec.seq, self.cursor, "live edge out of sync");
+        let brief = FetchBrief {
+            seq: rec.seq,
+            pc: rec.pc,
+            eff_addr: rec.eff_addr,
+            taken: rec.taken,
+        };
+        self.replay.push_back(rec);
+        self.cursor += 1;
+        brief
+    }
+
+    /// Functionally executes (or replays) the instruction at the fetch
     /// PC.
+    #[allow(dead_code)] // the pipeline fetches via `fetch_step_brief`; kept for tests
     #[inline]
     pub fn fetch_step(&mut self) -> ExecRecord {
         let idx = (self.cursor - self.committed) as usize;
@@ -229,6 +280,47 @@ impl OracleThread {
         }
     }
 
+    /// Commits the instruction at the commit point exactly like
+    /// [`OracleThread::commit_next`], but returns only its effective
+    /// address (what the commit stage's store bookkeeping needs) instead
+    /// of copying the whole record out of the buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no in-flight (fetched) instruction is pending commit;
+    /// debug-panics if the commit point disagrees with `expected_seq`
+    /// (the pipeline's ROB front).
+    pub fn commit_next_brief(&mut self, expected_seq: u64) -> Option<u64> {
+        assert!(
+            self.committed < self.cursor,
+            "commit ahead of the fetch point"
+        );
+        debug_assert_eq!(
+            self.committed, expected_seq,
+            "oracle/ROB commit points diverged"
+        );
+        let (eff_addr, next_pc, seq, is_store);
+        {
+            let rec = self.replay.front().expect("in-flight record");
+            debug_assert_eq!(rec.seq, self.committed, "replay prune out of sync");
+            eff_addr = rec.eff_addr;
+            next_pc = rec.next_pc;
+            seq = rec.seq;
+            is_store = matches!(
+                rec.inst,
+                Instruction::Store { .. } | Instruction::StoreFp { .. }
+            );
+            Self::apply(rec, &mut self.rrf_int, &mut self.rrf_fp);
+        }
+        self.rrf_pc = next_pc;
+        self.committed += 1;
+        self.replay.pop_front();
+        if is_store {
+            self.cpu.memory_mut().journal_trim(seq);
+        }
+        eff_addr
+    }
+
     /// Commits the instruction at the commit point: folds its recorded
     /// result into the RRF, lets the memory journal forget its write
     /// (stores), and prunes the replay buffer (a committed record can
@@ -237,6 +329,7 @@ impl OracleThread {
     /// # Panics
     ///
     /// Panics if no in-flight (fetched) instruction is pending commit.
+    #[allow(dead_code)] // the pipeline commits via `commit_next_brief`; kept for tests
     pub fn commit_next(&mut self) -> ExecRecord {
         assert!(
             self.committed < self.cursor,

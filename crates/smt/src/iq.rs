@@ -1,10 +1,16 @@
 //! Issue queues: occupancy accounting, wakeup lists and age-ordered
 //! ready selection.
 //!
-//! The per-entry wait state lives in the ROB entry (`waiting` counter);
-//! this module owns (a) the occupancy counters that bound dispatch, (b)
-//! the physical-register wakeup lists, and (c) per-queue ready heaps that
-//! yield issuable instructions oldest-first.
+//! The per-entry wait state lives in the instruction table (`waiting`
+//! column); this module owns (a) the occupancy counters that bound
+//! dispatch, (b) the physical-register wakeup lists, and (c) per-queue
+//! ready heaps that yield issuable instructions oldest-first.
+//!
+//! Entries refer to instructions by **handle**: the owning thread, the
+//! instruction-table slot, and the dispatch stamp `gseq` that both orders
+//! selection (oldest first — stamps are globally unique) and invalidates
+//! stale handles after squashes (the table clears a slot's stamp when the
+//! instruction dies, so a popped handle validates with one column read).
 //!
 //! Wakeup lists are stored as intrusive singly-linked chains through one
 //! shared node pool with a freelist, instead of one `Vec` per physical
@@ -20,20 +26,37 @@ use std::collections::BinaryHeap;
 
 use crate::types::{IqKind, PhysReg, RegClass, ThreadId};
 
-/// A candidate for issue: global age stamp, thread, sequence number. The
-/// `gseq` both orders selection (oldest first) and invalidates stale
-/// candidates after squashes.
-pub type ReadyKey = (u64, ThreadId, u64);
+/// A candidate for issue, packed into one word: the dispatch stamp
+/// `gseq` in the high 48 bits (which both orders selection — oldest
+/// first, stamps are unique — and invalidates stale candidates after
+/// squashes), the thread id in bits 13..16 and the table slot in bits
+/// 0..13. One-word heap elements keep the age-ordered select heaps
+/// dense: a sift touches half the cache lines of a tuple key.
+pub type ReadyKey = u64;
+
+/// Packs a ready-candidate handle.
+#[inline]
+pub fn ready_key(gseq: u64, tid: u32, slot: u32) -> ReadyKey {
+    debug_assert!(tid < 8 && slot < (1 << 13));
+    (gseq << 16) | ((tid as u64) << 13) | slot as u64
+}
+
+/// Unpacks a ready-candidate handle into `(gseq, tid, slot)`.
+#[inline]
+pub fn ready_parts(key: ReadyKey) -> (u64, u32, u32) {
+    (key >> 16, (key >> 13) as u32 & 0b111, key as u32 & 0x1fff)
+}
 
 /// Null link in the pooled wakeup chains.
 const NIL: u32 = u32::MAX;
 
-/// One pooled wakeup-list node: a waiter and its chain link.
+/// One pooled wakeup-list node: a waiting instruction handle and its
+/// chain link.
 #[derive(Clone, Copy, Debug)]
 struct WaiterNode {
-    tid: ThreadId,
-    seq: u64,
     gseq: u64,
+    tid: u32,
+    slot: u32,
     next: u32,
 }
 
@@ -115,33 +138,33 @@ impl IssueQueues {
         }
     }
 
-    /// Registers a waiter: the instruction `(tid, seq, gseq)` needs
-    /// register `(class, p)` to become ready.
-    pub fn add_waiter(&mut self, class: RegClass, p: PhysReg, tid: ThreadId, seq: u64, gseq: u64) {
-        let slot = self.head_slot(class, p);
-        let next = self.wake_heads[slot];
+    /// Registers a waiter: the instruction at `(tid, slot)` stamped
+    /// `gseq` needs register `(class, p)` to become ready.
+    pub fn add_waiter(&mut self, class: RegClass, p: PhysReg, tid: u32, slot: u32, gseq: u64) {
+        let head = self.head_slot(class, p);
+        let next = self.wake_heads[head];
         let idx = if self.free_head != NIL {
             let idx = self.free_head;
             let node = &mut self.nodes[idx as usize];
             self.free_head = node.next;
             *node = WaiterNode {
-                tid,
-                seq,
                 gseq,
+                tid,
+                slot,
                 next,
             };
             idx
         } else {
             let idx = self.nodes.len() as u32;
             self.nodes.push(WaiterNode {
-                tid,
-                seq,
                 gseq,
+                tid,
+                slot,
                 next,
             });
             idx
         };
-        self.wake_heads[slot] = idx;
+        self.wake_heads[head] = idx;
     }
 
     /// Drains the waiters of `(class, p)` into `out` (cleared first) —
@@ -149,18 +172,13 @@ impl IssueQueues {
     /// return to the freelist; the caller decrements each waiter's count
     /// and requeues the ready ones.
     #[allow(dead_code)] // superseded by `wake_waiters` on the hot path; kept for tests
-    pub fn take_waiters_into(
-        &mut self,
-        class: RegClass,
-        p: PhysReg,
-        out: &mut Vec<(ThreadId, u64, u64)>,
-    ) {
+    pub fn take_waiters_into(&mut self, class: RegClass, p: PhysReg, out: &mut Vec<ReadyKey>) {
         out.clear();
-        let slot = self.head_slot(class, p);
-        let mut cur = std::mem::replace(&mut self.wake_heads[slot], NIL);
+        let head = self.head_slot(class, p);
+        let mut cur = std::mem::replace(&mut self.wake_heads[head], NIL);
         while cur != NIL {
             let node = self.nodes[cur as usize];
-            out.push((node.tid, node.seq, node.gseq));
+            out.push(ready_key(node.gseq, node.tid, node.slot));
             self.nodes[cur as usize].next = self.free_head;
             self.free_head = cur;
             cur = node.next;
@@ -169,36 +187,41 @@ impl IssueQueues {
 
     /// Drains the waiters of `(class, p)` in place: for each waiter the
     /// callback decides (by decrementing its wakeup count against the
-    /// ROB) whether it became issuable, returning the queue to requeue it
-    /// on. Fusing the drain and the requeue avoids bouncing every wakeup
-    /// through a scratch vector on the writeback hot path.
+    /// instruction table) whether it became issuable, returning the queue
+    /// to requeue it on. Fusing the drain and the requeue avoids bouncing
+    /// every wakeup through a scratch vector on the writeback hot path.
     pub fn wake_waiters(
         &mut self,
         class: RegClass,
         p: PhysReg,
-        mut requeue: impl FnMut(ThreadId, u64, u64) -> Option<IqKind>,
+        mut requeue: impl FnMut(u32, u32, u64) -> Option<IqKind>,
     ) {
-        let slot = self.head_slot(class, p);
-        let mut cur = std::mem::replace(&mut self.wake_heads[slot], NIL);
+        let head = self.head_slot(class, p);
+        let mut cur = std::mem::replace(&mut self.wake_heads[head], NIL);
         while cur != NIL {
             let node = self.nodes[cur as usize];
             self.nodes[cur as usize].next = self.free_head;
             self.free_head = cur;
-            if let Some(kind) = requeue(node.tid, node.seq, node.gseq) {
-                self.ready[kind.index()].push(Reverse((node.gseq, node.tid, node.seq)));
+            if let Some(kind) = requeue(node.tid, node.slot, node.gseq) {
+                self.ready[kind.index()].push(Reverse(ready_key(node.gseq, node.tid, node.slot)));
             }
             cur = node.next;
         }
     }
 
+    /// Re-enqueues an already-packed candidate (MSHR retry).
+    pub fn push_requeue(&mut self, kind: IqKind, key: ReadyKey) {
+        self.ready[kind.index()].push(Reverse(key));
+    }
+
     /// Enqueues a ready-to-issue candidate.
-    pub fn push_ready(&mut self, kind: IqKind, gseq: u64, tid: ThreadId, seq: u64) {
-        self.ready[kind.index()].push(Reverse((gseq, tid, seq)));
+    pub fn push_ready(&mut self, kind: IqKind, gseq: u64, tid: u32, slot: u32) {
+        self.ready[kind.index()].push(Reverse(ready_key(gseq, tid, slot)));
     }
 
     /// Pops the oldest ready candidate of queue `kind`, if any. The caller
-    /// must validate the candidate against the ROB (it may have been
-    /// squashed).
+    /// must validate the candidate against the instruction table (it may
+    /// have been squashed).
     pub fn pop_ready(&mut self, kind: IqKind) -> Option<ReadyKey> {
         self.ready[kind.index()].pop().map(|Reverse(k)| k)
     }
@@ -242,9 +265,9 @@ mod tests {
         iq.push_ready(IqKind::Ls, 10, 0, 1);
         iq.push_ready(IqKind::Ls, 20, 0, 2);
         assert!(iq.any_ready_candidates());
-        assert_eq!(iq.pop_ready(IqKind::Ls).unwrap().0, 10);
-        assert_eq!(iq.pop_ready(IqKind::Ls).unwrap().0, 20);
-        assert_eq!(iq.pop_ready(IqKind::Ls).unwrap().0, 30);
+        assert_eq!(ready_parts(iq.pop_ready(IqKind::Ls).unwrap()).0, 10);
+        assert_eq!(ready_parts(iq.pop_ready(IqKind::Ls).unwrap()).0, 20);
+        assert_eq!(ready_parts(iq.pop_ready(IqKind::Ls).unwrap()).0, 30);
         assert!(iq.pop_ready(IqKind::Ls).is_none());
         assert!(!iq.any_ready_candidates());
     }
@@ -262,7 +285,7 @@ mod tests {
         assert!(out.is_empty());
         iq.take_waiters_into(RegClass::Fp, 3, &mut out);
         assert_eq!(out.len(), 1);
-        assert_eq!(out[0], (0, 9, 90));
+        assert_eq!(out[0], ready_key(90, 0, 9));
     }
 
     #[test]
@@ -271,7 +294,7 @@ mod tests {
         let mut out = Vec::new();
         for round in 0..100u64 {
             for w in 0..5 {
-                iq.add_waiter(RegClass::Int, (w % 8) as PhysReg, 0, round, round * 10 + w);
+                iq.add_waiter(RegClass::Int, (w % 8) as PhysReg, 0, round as u32, round * 10 + w as u64);
             }
             for p in 0..8 {
                 iq.take_waiters_into(RegClass::Int, p, &mut out);
@@ -291,8 +314,8 @@ mod tests {
         iq.add_waiter(RegClass::Int, 5, 0, 1, 10);
         iq.add_waiter(RegClass::Fp, 5, 1, 2, 20);
         iq.take_waiters_into(RegClass::Int, 5, &mut out);
-        assert_eq!(out, vec![(0, 1, 10)]);
+        assert_eq!(out, vec![ready_key(10, 0, 1)]);
         iq.take_waiters_into(RegClass::Fp, 5, &mut out);
-        assert_eq!(out, vec![(1, 2, 20)]);
+        assert_eq!(out, vec![ready_key(20, 1, 2)]);
     }
 }

@@ -42,12 +42,12 @@
 
 mod config;
 mod frontend;
+mod instr_table;
 mod iq;
 mod pipeline;
 mod policy;
 mod regfile;
 mod rename;
-mod rob;
 mod stats;
 mod store_set;
 mod types;

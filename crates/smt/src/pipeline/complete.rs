@@ -1,13 +1,17 @@
 //! Completion / writeback stage.
 //!
 //! Drains the completion event heap up to the current cycle: each due
-//! event marks its ROB entry `Done`, wakes register waiters (propagating
+//! event marks its table slot `Done`, wakes register waiters (propagating
 //! INV status), and resolves branches (predictor training and
 //! misprediction fetch-gate release).
 
 use rat_bpred::{GlobalHistory, Predictor};
+use rat_isa::InstructionKind;
 
-use crate::rob::EntryState;
+use crate::instr_table::{
+    unpack_arch, unpack_reg, F_DMISS, F_INV, F_MISPRED, F_TAKEN, GSEQ_SHIFT, REG_NONE, ST_DONE,
+    ST_EXEC,
+};
 
 use super::{pred_key, SmtSimulator};
 use crate::types::ThreadId;
@@ -20,51 +24,54 @@ pub(super) fn run(sim: &mut SmtSimulator) {
 }
 
 fn writeback(sim: &mut SmtSimulator, tid: ThreadId, seq: u64, gseq: u64) {
-    let (inv, dst, dst_arch, is_branch, was_dmiss);
+    let (meta, dst, slot, was_dmiss);
     {
-        let Some(e) = sim.threads[tid].rob.get_mut(seq) else {
-            return; // squashed
-        };
-        if e.gseq != gseq || e.state != EntryState::Executing {
-            return; // stale completion (squashed + seq reused, or converted)
+        let t = &mut sim.threads[tid].instrs;
+        slot = t.slot_of(seq);
+        // One-load validation: an Executing slot's scheduler word is
+        // exactly stamp|ST_EXEC (queue tag and wait count are clear).
+        if t.sched[slot] != (gseq << GSEQ_SHIFT) | ST_EXEC {
+            return; // stale completion (squashed, re-dispatched, or converted)
         }
-        e.state = EntryState::Done;
-        inv = e.inv;
-        dst = e.dst;
-        dst_arch = e.dst_arch;
-        is_branch = e.is_branch();
-        was_dmiss = e.dmiss;
-        e.dmiss = false;
+        t.sched[slot] = (gseq << GSEQ_SHIFT) | ST_DONE;
+        meta = t.meta[slot];
+        was_dmiss = meta.flags & F_DMISS != 0;
+        if was_dmiss {
+            t.meta[slot].flags = meta.flags & !F_DMISS;
+        }
+        dst = t.regs[slot].dst;
     }
     if was_dmiss {
         sim.threads[tid].dmiss_inflight -= 1;
     }
-    if let Some((class, p)) = dst {
+    sim.activity = true;
+    if dst != REG_NONE {
+        let (class, p) = unpack_reg(dst).expect("packed dst");
+        let inv = meta.flags & F_INV != 0;
         sim.res.wake_register(&mut sim.threads, class, p, inv);
         if inv {
-            if let Some(arch) = dst_arch {
+            if let Some(arch) = unpack_arch(meta.dst_arch) {
                 sim.threads[tid].set_arch_inv_if_current(arch, p);
             }
         }
     }
-    if is_branch {
-        resolve_branch(sim, tid, seq);
+    if meta.kind == InstructionKind::Branch {
+        resolve_branch(sim, tid, seq, slot);
     }
 }
 
-fn resolve_branch(sim: &mut SmtSimulator, tid: ThreadId, seq: u64) {
-    let (pc, taken, predicted, mispredicted, hist_bits) = {
-        let e = sim.threads[tid].rob.get(seq).expect("resolving branch");
-        (e.pc, e.taken, e.predicted, e.mispredicted, e.hist_bits)
-    };
-    if let Some(pred_dir) = predicted {
-        let hist = GlobalHistory::from_bits(hist_bits);
+fn resolve_branch(sim: &mut SmtSimulator, tid: ThreadId, seq: u64, slot: usize) {
+    let t = &sim.threads[tid].instrs;
+    let meta = t.meta[slot];
+    let taken = meta.flags & F_TAKEN != 0;
+    if let Some(pred_dir) = meta.predicted() {
+        let hist = GlobalHistory::from_bits(t.front[slot].hist_bits);
         sim.res
             .pred
-            .train(pred_key(tid, pc), &hist, taken, pred_dir);
+            .train(pred_key(tid, meta.pc), &hist, taken, pred_dir);
         sim.stats.threads[tid].bpred.record(pred_dir == taken);
     }
-    if mispredicted && sim.threads[tid].branch_gate == Some(seq) {
+    if meta.flags & F_MISPRED != 0 && sim.threads[tid].branch_gate == Some(seq) {
         // Fetch resumes next cycle; the front-end depth models refill.
         sim.threads[tid].branch_gate = None;
     }

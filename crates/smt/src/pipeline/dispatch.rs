@@ -7,13 +7,20 @@
 //! skip predicate must know whether a thread *could* dispatch without
 //! actually dispatching, and sharing the decision function keeps the two
 //! paths incapable of drifting apart.
+//!
+//! Dispatch is where a slot *promotes* from the fetch window into the
+//! ROB window of the thread's instruction table: no entry is copied
+//! anywhere — the window boundary moves, the rename results land in the
+//! `regs` cluster, and the scheduler word is composed in one store.
 
 use rat_isa::{ArchReg, Instruction, InstructionKind};
 
-use crate::rob::{EntryState, RobEntry};
-use crate::types::{ExecMode, IqKind, PhysReg, RegClass, ThreadId};
+use crate::instr_table::{
+    pack_arch, pack_reg, sched_word, Regs, F_INV, F_RUNAHEAD, F_TAKEN, ST_DONE, ST_WAIT,
+};
+use crate::types::{ExecMode, IqKind, RegClass, ThreadId};
 
-use super::{Fetched, SmtSimulator};
+use super::SmtSimulator;
 
 /// Which issue queue an instruction dispatches into.
 fn iq_kind(kind: InstructionKind) -> Option<IqKind> {
@@ -102,8 +109,8 @@ pub(super) fn run(sim: &mut SmtSimulator) {
     for &tid in &order[..n] {
         while budget > 0 {
             let ready = matches!(
-                sim.threads[tid].frontend.front(),
-                Some(f) if f.ready_at <= sim.now
+                sim.threads[tid].instrs.fe_front_slot(),
+                Some(f) if sim.threads[tid].instrs.front[f].ready_at <= sim.now
             );
             if !ready || !try_dispatch_one(sim, tid) {
                 break;
@@ -140,7 +147,7 @@ pub(super) enum DispatchDecision {
 /// measurable hot-path work for zero information.
 #[derive(Clone, Copy)]
 pub(super) struct Decoded {
-    kind: InstructionKind,
+    pub(super) kind: InstructionKind,
     iq_kind: Option<IqKind>,
     dst_arch: Option<ArchReg>,
     srcs_arch: [Option<ArchReg>; 2],
@@ -165,18 +172,18 @@ pub(super) fn decode_program(prog: &rat_isa::Program) -> Box<[Decoded]> {
         .collect()
 }
 
-/// The side-effect-free dispatch gate for `tid`'s frontend head.
+/// The side-effect-free dispatch gate for `tid`'s fetch-window head.
 pub(super) fn decide(sim: &SmtSimulator, tid: ThreadId) -> DispatchDecision {
-    let Some(f) = sim.threads[tid].frontend.front() else {
+    let Some(f) = sim.threads[tid].instrs.fe_front_slot() else {
         return DispatchDecision::Blocked;
     };
-    let d = sim.threads[tid].decode[f.pc.index()];
-    gate(sim, tid, f, &d)
+    let d = sim.threads[tid].decode[sim.threads[tid].instrs.meta[f].pc.index()];
+    gate(sim, tid, &d)
 }
 
 /// The gate logic over an already-decoded head instruction.
-fn gate(sim: &SmtSimulator, tid: ThreadId, f: &Fetched, d: &Decoded) -> DispatchDecision {
-    if sim.threads[tid].mode == ExecMode::Runahead && folds_in_runahead(sim, tid, f, d) {
+fn gate(sim: &SmtSimulator, tid: ThreadId, d: &Decoded) -> DispatchDecision {
+    if sim.threads[tid].mode == ExecMode::Runahead && folds_in_runahead(sim, tid, d) {
         // A folded instruction still needs a ROB slot.
         return if sim.res.rob_occupancy >= sim.cfg.rob_size {
             DispatchDecision::Blocked
@@ -209,11 +216,11 @@ fn gate(sim: &SmtSimulator, tid: ThreadId, f: &Fetched, d: &Decoded) -> Dispatch
     DispatchDecision::Dispatch
 }
 
-/// Whether `f` folds at rename during runahead: INV sources (for
+/// Whether the head folds at rename during runahead: INV sources (for
 /// loads/stores only the address matters — INV store *data* still
 /// prefetches), dropped FP computation, or a fence (synchronization is
 /// ignored in runahead, §3.3).
-fn folds_in_runahead(sim: &SmtSimulator, tid: ThreadId, f: &Fetched, d: &Decoded) -> bool {
+fn folds_in_runahead(sim: &SmtSimulator, tid: ThreadId, d: &Decoded) -> bool {
     let fold_srcs: &[Option<ArchReg>] = match d.kind {
         InstructionKind::Load | InstructionKind::Store => &d.srcs_arch[..1],
         _ => &d.srcs_arch[..],
@@ -222,7 +229,6 @@ fn folds_in_runahead(sim: &SmtSimulator, tid: ThreadId, f: &Fetched, d: &Decoded
         .iter()
         .flatten()
         .any(|r| sim.threads[tid].arch_inv[r.flat_index()]);
-    let _ = f;
     let drop_fp = sim.cfg.runahead.drop_fp && d.is_fp_compute;
     src_inv || drop_fp || d.is_fence
 }
@@ -231,12 +237,11 @@ fn folds_in_runahead(sim: &SmtSimulator, tid: ThreadId, f: &Fetched, d: &Decoded
 /// Returns `false` on a resource or policy stall (in-order dispatch:
 /// the thread stops for this cycle).
 fn try_dispatch_one(sim: &mut SmtSimulator, tid: ThreadId) -> bool {
-    let Some(f) = sim.threads[tid].frontend.front() else {
+    let Some(f) = sim.threads[tid].instrs.fe_front_slot() else {
         return false;
     };
-    let f = *f;
-    let d = sim.threads[tid].decode[f.pc.index()];
-    match gate(sim, tid, &f, &d) {
+    let d = sim.threads[tid].decode[sim.threads[tid].instrs.meta[f].pc.index()];
+    match gate(sim, tid, &d) {
         DispatchDecision::Blocked => false,
         DispatchDecision::Fold => {
             fold_one(sim, tid, &d);
@@ -249,25 +254,38 @@ fn try_dispatch_one(sim: &mut SmtSimulator, tid: ThreadId) -> bool {
     }
 }
 
-/// Consumes the head instruction as a folded (INV) runahead entry.
+/// Consumes the head instruction as a folded (INV) runahead entry: the
+/// slot promotes into the ROB window already `Done`, holding no back-end
+/// resources.
 fn fold_one(sim: &mut SmtSimulator, tid: ThreadId, d: &Decoded) {
-    let f = sim.threads[tid].frontend.pop_front().expect("checked");
+    let slot = sim.threads[tid].instrs.promote_front();
     if let Some(arch) = d.dst_arch {
         sim.threads[tid].arch_inv[arch.flat_index()] = true;
     }
     if d.kind == InstructionKind::Branch {
+        let t = &mut sim.threads[tid];
+        let m = t.instrs.meta[slot];
         // An INV branch follows the predicted path; if the
         // prediction disagrees with the correct path, the
         // runahead thread diverges (§3.1 "most likely path").
-        if f.predicted != Some(f.taken) && !sim.threads[tid].diverged {
-            sim.threads[tid].diverged = true;
+        if m.predicted() != Some(m.flags & F_TAKEN != 0) && !t.diverged {
+            t.diverged = true;
             sim.stats.threads[tid].runahead_divergences += 1;
         }
-        if sim.threads[tid].branch_gate == Some(f.seq) {
-            sim.threads[tid].branch_gate = None;
+        if t.branch_gate == Some(t.instrs.front[slot].seq) {
+            t.branch_gate = None;
         }
     }
-    push_folded_entry(sim, tid, &f, d.kind);
+    sim.res.gseq += 1;
+    let t = &mut sim.threads[tid].instrs;
+    t.sched[slot] = sched_word(sim.res.gseq, 0, 0, ST_DONE);
+    t.meta[slot].flags |= F_INV | F_RUNAHEAD;
+    t.regs[slot] = Regs::NONE;
+    sim.res.rob_occupancy += 1;
+    let ts = &mut sim.stats.threads[tid];
+    ts.dispatched += 1;
+    ts.folded += 1;
+    sim.activity = true;
 }
 
 /// Renames and allocates the head instruction (every gate in [`gate`]
@@ -283,33 +301,34 @@ fn dispatch_one(sim: &mut SmtSimulator, tid: ThreadId, d: &Decoded) {
         ..
     } = d;
 
-    // --- rename & allocate ---
-    let f = sim.threads[tid].frontend.pop_front().expect("checked");
+    // --- rename & allocate (in the promoted slot, in place) ---
+    let slot = sim.threads[tid].instrs.promote_front();
     sim.res.gseq += 1;
     let gseq = sim.res.gseq;
-    let seq = f.seq;
 
-    let mut srcs: [Option<(RegClass, PhysReg)>; 2] = [None, None];
+    let mut srcs: [u32; 2] = [crate::instr_table::REG_NONE; 2];
     let mut waiting = 0u8;
     for (i, src) in srcs_arch.iter().enumerate() {
         if let Some(arch) = src {
             let class = reg_class(*arch);
             let p = sim.threads[tid].rename.lookup(*arch);
-            srcs[i] = Some((class, p));
+            srcs[i] = pack_reg(class, p);
             if !sim.res.rf_ref(class).is_ready(p) {
                 waiting += 1;
-                sim.res.iqs.add_waiter(class, p, tid, seq, gseq);
+                sim.res
+                    .iqs
+                    .add_waiter(class, p, tid as u32, slot as u32, gseq);
             }
         }
     }
 
-    let mut dst = None;
-    let mut prev = None;
+    let mut dst = crate::instr_table::REG_NONE;
+    let mut prev = crate::instr_table::REG_NONE;
     if let Some(arch) = dst_arch {
         let class = reg_class(arch);
         let p = sim.res.rf(class).alloc(tid).expect("checked free_count");
-        prev = Some(sim.threads[tid].rename.rename(arch, p));
-        dst = Some((class, p));
+        prev = sim.threads[tid].rename.rename(arch, p) as u32;
+        dst = pack_reg(class, p);
         if runahead {
             sim.res.rf(class).mark_episode(p);
             sim.threads[tid].episode_regs.push((class, p));
@@ -324,49 +343,31 @@ fn dispatch_one(sim: &mut SmtSimulator, tid: ThreadId, d: &Decoded) {
         sim.threads[tid].fp_user = true;
     }
 
-    let state = if iq_kind.is_none() {
-        EntryState::Done
-    } else {
-        EntryState::WaitIssue
-    };
     if let Some(k) = iq_kind {
         sim.res.iqs.insert(k, tid);
     }
-    if matches!(kind, InstructionKind::Store) {
-        if let Some(addr) = f.eff_addr {
-            sim.threads[tid].add_store_addr(addr);
-        }
+    if kind == InstructionKind::Store {
+        let addr = sim.threads[tid].instrs.front[slot].eff_addr;
+        sim.threads[tid].add_store_addr(addr);
     }
 
-    let mode = sim.threads[tid].mode;
-    sim.threads[tid].rob.push(RobEntry {
-        seq,
-        gseq,
-        kind,
-        pc: f.pc,
-        eff_addr: f.eff_addr,
-        taken: f.taken,
-        mode,
-        state,
-        inv: false,
-        dst,
-        dst_arch,
-        prev,
-        srcs,
-        iq: iq_kind,
-        waiting,
-        ready_at: 0,
-        dmiss: false,
-        l2_miss: false,
-        predicted: f.predicted,
-        mispredicted: f.mispredicted,
-        hist_bits: f.hist_bits,
-    });
+    let t = &mut sim.threads[tid].instrs;
+    let (iqk8, stage) = match iq_kind {
+        Some(k) => (1 + k.index() as u8, ST_WAIT),
+        None => (0, ST_DONE),
+    };
+    t.sched[slot] = sched_word(gseq, iqk8, waiting, stage);
+    if runahead {
+        t.meta[slot].flags |= F_RUNAHEAD;
+    }
+    t.meta[slot].dst_arch = pack_arch(dst_arch);
+    t.regs[slot] = Regs { srcs, dst, prev };
     sim.res.rob_occupancy += 1;
     sim.stats.threads[tid].dispatched += 1;
+    sim.activity = true;
     if waiting == 0 {
         if let Some(k) = iq_kind {
-            sim.res.iqs.push_ready(k, gseq, tid, seq);
+            sim.res.iqs.push_ready(k, gseq, tid as u32, slot as u32);
         }
     }
 }
@@ -378,35 +379,4 @@ fn reg_class(arch: ArchReg) -> RegClass {
     } else {
         RegClass::Fp
     }
-}
-
-fn push_folded_entry(sim: &mut SmtSimulator, tid: ThreadId, f: &Fetched, kind: InstructionKind) {
-    sim.res.gseq += 1;
-    sim.threads[tid].rob.push(RobEntry {
-        seq: f.seq,
-        gseq: sim.res.gseq,
-        kind,
-        pc: f.pc,
-        eff_addr: f.eff_addr,
-        taken: f.taken,
-        mode: ExecMode::Runahead,
-        state: EntryState::Done,
-        inv: true,
-        dst: None,
-        dst_arch: None,
-        prev: None,
-        srcs: [None, None],
-        iq: None,
-        waiting: 0,
-        ready_at: sim.now,
-        dmiss: false,
-        l2_miss: false,
-        predicted: f.predicted,
-        mispredicted: f.mispredicted,
-        hist_bits: f.hist_bits,
-    });
-    sim.res.rob_occupancy += 1;
-    let ts = &mut sim.stats.threads[tid];
-    ts.dispatched += 1;
-    ts.folded += 1;
 }

@@ -6,12 +6,13 @@ use rat_bpred::Predictor;
 use rat_isa::InstructionKind;
 
 use crate::config::{RunaheadVariant, SmtConfig};
+use crate::instr_table::{Front, Meta, ARCH_NONE, F_MISPRED, F_PRED, F_PRED_TAKEN, F_TAKEN};
 use crate::policy::PolicyKind;
 use crate::stats::ThreadStats;
 use crate::types::{Cycle, ExecMode, ThreadId};
 
 use super::resources::SharedResources;
-use super::{pred_key, tag_addr, Fetched, SmtSimulator, Thread};
+use super::{pred_key, tag_addr, SmtSimulator, Thread};
 
 /// Runs the fetch stage for one cycle.
 pub(super) fn run(sim: &mut SmtSimulator) {
@@ -82,6 +83,7 @@ pub(super) fn run(sim: &mut SmtSimulator) {
         if fetched > 0 {
             slots -= fetched;
             threads_used += 1;
+            sim.activity = true;
         }
     }
 }
@@ -90,7 +92,7 @@ fn fetchable(t: &Thread, cfg: &SmtConfig, now: Cycle) -> bool {
     if t.fetch_gated(now) {
         return false;
     }
-    if t.frontend.len() >= cfg.fetch_buffer {
+    if t.instrs.fe_len() >= cfg.fetch_buffer {
         return false;
     }
     if t.mode == ExecMode::Runahead && cfg.runahead.variant == RunaheadVariant::NoFetch {
@@ -101,7 +103,9 @@ fn fetchable(t: &Thread, cfg: &SmtConfig, now: Cycle) -> bool {
 
 /// Fetches up to `max` instructions for one thread: the per-thread stage
 /// body, a function over the thread's own state plus the shared
-/// I-cache/predictor resources.
+/// I-cache/predictor resources. Each fetched instruction opens a fresh
+/// slot in the thread's instruction table and fills its `meta` and
+/// `front` clusters in two stores.
 fn fetch_one(
     t: &mut Thread,
     ts: &mut ThreadStats,
@@ -113,7 +117,7 @@ fn fetch_one(
 ) -> usize {
     let mut count = 0;
     let mut cur_line = u64::MAX;
-    while count < max && t.frontend.len() < cfg.fetch_buffer {
+    while count < max && t.instrs.fe_len() < cfg.fetch_buffer {
         let pc = t.oracle.fetch_pc();
         let addr = tag_addr(tid, pc.byte_addr());
         let line = addr & !63;
@@ -128,31 +132,35 @@ fn fetch_one(
             }
             cur_line = line;
         }
-        let rec = t.oracle.fetch_step();
+        let rec = t.oracle.fetch_step_brief();
         ts.fetched += 1;
-        let kind = rec.inst.kind();
-        let mut predicted = None;
+        let kind = t.decode[rec.pc.index()].kind;
+        let mut flags = if rec.taken { F_TAKEN } else { 0 };
         let mut mispredicted = false;
         let hist_bits = t.hist.bits();
         if kind == InstructionKind::Branch {
             let dir = res.pred.predict(pred_key(tid, rec.pc), &t.hist);
-            predicted = Some(dir);
+            flags |= F_PRED | if dir { F_PRED_TAKEN } else { 0 };
             t.hist.push(rec.taken);
             if dir != rec.taken {
                 mispredicted = true;
+                flags |= F_MISPRED;
                 t.branch_gate = Some(rec.seq);
             }
         }
-        t.frontend.push_back(Fetched {
-            seq: rec.seq,
+        let slot = t.instrs.fe_push(rec.seq);
+        t.instrs.meta[slot] = Meta {
             pc: rec.pc,
-            eff_addr: rec.eff_addr,
-            taken: rec.taken,
-            predicted,
-            mispredicted,
-            hist_bits,
+            kind,
+            flags,
+            dst_arch: ARCH_NONE,
+        };
+        t.instrs.front[slot] = Front {
+            seq: rec.seq,
             ready_at: now + cfg.frontend_depth,
-        });
+            eff_addr: rec.eff_addr.unwrap_or(0),
+            hist_bits,
+        };
         count += 1;
         match kind {
             InstructionKind::Branch if mispredicted => break,

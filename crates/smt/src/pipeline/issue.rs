@@ -6,8 +6,10 @@ use rat_isa::InstructionKind;
 use rat_mem::AccessKind;
 
 use crate::config::RunaheadVariant;
+use crate::instr_table::{
+    sched_iq, unpack_reg, F_DMISS, F_INV, F_L2MISS, GSEQ_SHIFT, IQK_MASK, ST_EXEC, ST_WAIT,
+};
 use crate::policy::PolicyKind;
-use crate::rob::EntryState;
 use crate::types::{Cycle, ExecMode, IqKind, PhysReg, RegClass, ThreadId};
 
 use super::{runahead, tag_addr, SmtSimulator};
@@ -46,118 +48,111 @@ pub(super) fn run(sim: &mut SmtSimulator) {
         let mut scan = 64usize;
         while budget > 0 && fu > 0 && scan > 0 {
             scan -= 1;
-            let Some((gseq, tid, seq)) = sim.res.iqs.pop_ready(kind) else {
+            let Some(key) = sim.res.iqs.pop_ready(kind) else {
                 break;
             };
-            // Validate the candidate and snapshot the fields issue needs
-            // in a single ROB lookup (candidates may be stale: squashed
-            // and possibly replaced by a re-dispatched instance).
-            let snap = {
-                let Some(e) = sim.threads[tid].rob.get(seq) else {
-                    continue;
-                };
-                if e.gseq != gseq || e.state != EntryState::WaitIssue || e.waiting != 0 {
+            let (gseq, tid32, slot32) = crate::iq::ready_parts(key);
+            let (tid, slot) = (tid32 as ThreadId, slot32 as usize);
+            // One-load validation against the scheduler word: a live,
+            // operand-ready WaitIssue slot carries exactly this stamp,
+            // stage and (zero) wait count — stale candidates (squashed,
+            // possibly re-dispatched) cannot match.
+            {
+                let t = &sim.threads[tid].instrs;
+                if t.sched[slot] & !IQK_MASK != (gseq << GSEQ_SHIFT) | ST_WAIT {
                     continue;
                 }
-                (e.srcs, e.kind, e.eff_addr, e.inv)
-            };
-            match issue_one(sim, tid, seq, snap) {
+            }
+            match issue_one(sim, tid, slot, gseq) {
                 IssueOutcome::Issued => {
                     budget -= 1;
                     fu -= 1;
                 }
                 IssueOutcome::Retry => {
-                    retries.push((gseq, tid, seq));
+                    retries.push(key);
                 }
             }
         }
-        for &(gseq, tid, seq) in &retries {
-            sim.res.iqs.push_ready(kind, gseq, tid, seq);
+        for &key in &retries {
+            sim.res.iqs.push_requeue(kind, key);
         }
     }
     retries.clear();
     sim.res.retry_scratch = retries;
 }
 
-type IssueSnap = (
-    [Option<(RegClass, PhysReg)>; 2],
-    InstructionKind,
-    Option<u64>,
-    bool,
-);
-
-fn issue_one(sim: &mut SmtSimulator, tid: ThreadId, seq: u64, snap: IssueSnap) -> IssueOutcome {
-    // The caller snapshotted what we need while validating the
-    // candidate. Memory ops execute under the thread's *current* mode:
-    // instructions in flight when runahead begins become runahead
-    // instructions (their L2 misses turn INV instead of blocking
-    // pseudo-retire).
-    let (srcs, entry_kind, eff_addr, inv_already) = snap;
+fn issue_one(sim: &mut SmtSimulator, tid: ThreadId, slot: usize, gseq: u64) -> IssueOutcome {
+    // Memory ops execute under the thread's *current* mode: instructions
+    // in flight when runahead begins become runahead instructions (their
+    // L2 misses turn INV instead of blocking pseudo-retire).
+    let (srcs, entry_kind, eff_addr, inv_already) = {
+        let t = &sim.threads[tid].instrs;
+        let m = t.meta[slot];
+        (
+            t.regs[slot].srcs,
+            m.kind,
+            t.front[slot].eff_addr,
+            m.flags & F_INV != 0,
+        )
+    };
     let mode = sim.threads[tid].mode;
     let reg_inv = |class: RegClass, p: PhysReg| sim.res.rf_ref(class).is_inv(p);
-    let src_inv = srcs.iter().flatten().any(|&(class, p)| reg_inv(class, p));
+    let src_inv = srcs
+        .iter()
+        .filter_map(|&s| unpack_reg(s))
+        .any(|(class, p)| reg_inv(class, p));
     let mut inv = inv_already || src_inv;
 
     let ready_at = match entry_kind {
-        InstructionKind::Load => {
-            match issue_load(
-                sim,
-                tid,
-                seq,
-                eff_addr.expect("load has address"),
-                mode,
-                inv,
-            ) {
-                Some(r) => r,
-                None => {
-                    // MSHR rejection: the entry state was never changed, so
-                    // it stays WaitIssue and in its IQ — retry next cycle.
-                    return IssueOutcome::Retry;
-                }
+        InstructionKind::Load => match issue_load(sim, tid, slot, eff_addr, mode, inv) {
+            Some(r) => r,
+            None => {
+                // MSHR rejection: the scheduler word was never changed,
+                // so the slot stays WaitIssue and in its IQ — retry next
+                // cycle.
+                return IssueOutcome::Retry;
             }
-        }
+        },
         InstructionKind::Store => {
             // For a store only the *address* (src 0) going INV makes the
             // whole operation bogus; INV data still allows the address
             // access (write-allocate prefetch) and, with the runahead
             // cache, records the INV status for later loads (§3.3).
-            let base_inv = inv_already || srcs[0].is_some_and(|(c, p)| reg_inv(c, p));
-            let data_inv = srcs[1].is_some_and(|(c, p)| reg_inv(c, p));
+            let base_inv = inv_already || unpack_reg(srcs[0]).is_some_and(|(c, p)| reg_inv(c, p));
+            let data_inv = unpack_reg(srcs[1]).is_some_and(|(c, p)| reg_inv(c, p));
             inv = base_inv;
-            issue_store(
-                sim,
-                tid,
-                eff_addr.expect("store has address"),
-                mode,
-                base_inv,
-                data_inv,
-            )
+            issue_store(sim, tid, eff_addr, mode, base_inv, data_inv)
         }
         k => sim.now + exec_latency(k),
     };
 
-    let e = sim.threads[tid].rob.get_mut(seq).expect("issuing entry");
-    e.state = EntryState::Executing;
-    // issue_load may have set e.inv itself (L2 miss in runahead).
-    e.inv = e.inv || inv;
-    e.ready_at = ready_at;
-    let gseq = e.gseq;
-    let was_iq = e.iq.take();
-    if let Some(k) = was_iq {
-        sim.res.iqs.remove(k, tid);
+    let t = &mut sim.threads[tid].instrs;
+    let was_iq = sched_iq(t.sched[slot]);
+    // Advance the scheduler word: stamp preserved, queue tag and wait
+    // count cleared, stage Executing.
+    t.sched[slot] = (gseq << GSEQ_SHIFT) | ST_EXEC;
+    // issue_load may have set the INV flag itself (L2 miss in runahead).
+    if inv {
+        t.meta[slot].flags |= F_INV;
+    }
+    t.front[slot].ready_at = ready_at;
+    let seq = t.front[slot].seq;
+    if let Some(kind) = was_iq {
+        sim.res.iqs.remove(kind, tid);
     }
     sim.res.schedule_completion(ready_at, tid, seq, gseq);
     sim.stats.threads[tid].issued += 1;
+    sim.activity = true;
     IssueOutcome::Issued
 }
 
 /// Computes a load's completion cycle. Returns `None` when the access
-/// was rejected (MSHRs full) and must retry. May mark the entry INV
+/// was rejected (MSHRs full) and must retry. May mark the slot INV
 /// (runahead L2 miss / suppressed access).
 fn issue_load(
     sim: &mut SmtSimulator,
     tid: ThreadId,
-    seq: u64,
+    slot: usize,
     addr: u64,
     mode: ExecMode,
     inv_in: bool,
@@ -174,8 +169,7 @@ fn issue_load(
         && sim.cfg.runahead.runahead_cache
         && sim.threads[tid].ra_inv_words.contains(&(addr & !7))
     {
-        let e = sim.threads[tid].rob.get_mut(seq).expect("load entry");
-        e.inv = true;
+        sim.threads[tid].instrs.meta[slot].flags |= F_INV;
         return Some(sim.now + 1);
     }
     // Store→load forwarding (word-granular, oracle addresses).
@@ -195,16 +189,12 @@ fn issue_load(
             // event-driven hierarchy lengthens exactly this wait.
             sim.stats.threads[tid].mem_stall_cycles += res.ready_at.saturating_sub(sim.now);
             if !res.l1_hit {
-                let e = sim.threads[tid].rob.get_mut(seq).expect("load entry");
-                e.dmiss = true;
+                sim.threads[tid].instrs.meta[slot].flags |= F_DMISS;
                 sim.threads[tid].dmiss_inflight += 1;
                 sim.stats.threads[tid].dmiss_loads += 1;
             }
             if res.l2_miss {
-                {
-                    let e = sim.threads[tid].rob.get_mut(seq).expect("load entry");
-                    e.l2_miss = true;
-                }
+                sim.threads[tid].instrs.meta[slot].flags |= F_L2MISS;
                 sim.stats.threads[tid].l2_miss_loads += 1;
                 match sim.cfg.policy {
                     PolicyKind::Stall => {
@@ -217,6 +207,7 @@ fn issue_load(
                         // misses do not re-flush (Tullsen & Brown flush
                         // on the first detected L2 miss).
                         if sim.now >= sim.threads[tid].longlat_gate => {
+                            let seq = sim.threads[tid].instrs.front[slot].seq;
                             runahead::flush_thread(sim, tid, seq, res.ready_at);
                         }
                     _ => {}
@@ -239,9 +230,10 @@ fn issue_load(
                             // not re-trigger runahead on this load
                             // after recovery (keeps episode timing
                             // comparable to Full).
-                            let e = sim.threads[tid].rob.get_mut(seq).expect("load entry");
-                            e.inv = true;
-                            sim.threads[tid].no_retrigger.insert(seq);
+                            let t = &mut sim.threads[tid];
+                            t.instrs.meta[slot].flags |= F_INV;
+                            let seq = t.instrs.front[slot].seq;
+                            t.no_retrigger.insert(seq);
                             sim.stats.threads[tid].runahead_inv_loads += 1;
                             Some(sim.now + 1)
                         }
@@ -260,9 +252,10 @@ fn issue_load(
                         // prefetch and mark the value bogus, as real
                         // runahead engines do — a runahead load must
                         // never camp on the window head retrying.
-                        let e = sim.threads[tid].rob.get_mut(seq).expect("load entry");
-                        e.inv = true;
-                        sim.threads[tid].no_retrigger.insert(seq);
+                        let t = &mut sim.threads[tid];
+                        t.instrs.meta[slot].flags |= F_INV;
+                        let seq = t.instrs.front[slot].seq;
+                        t.no_retrigger.insert(seq);
                         return Some(sim.now + 1);
                     }
                     if !res.l1_hit {
@@ -272,8 +265,7 @@ fn issue_load(
                         // The paper's key behavior: a runahead L2 miss
                         // turns INV immediately (value bogus) while its
                         // prefetch proceeds in the memory system.
-                        let e = sim.threads[tid].rob.get_mut(seq).expect("load entry");
-                        e.inv = true;
+                        sim.threads[tid].instrs.meta[slot].flags |= F_INV;
                         sim.stats.threads[tid].runahead_inv_loads += 1;
                         Some(sim.now + 1)
                     } else {

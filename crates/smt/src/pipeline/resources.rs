@@ -19,16 +19,32 @@ use rat_isa::ArchReg;
 use rat_mem::Hierarchy;
 
 use crate::config::SmtConfig;
+use crate::instr_table::{sched_iq, GSEQ_SHIFT, STAGE_MASK, ST_WAIT, WAIT_MASK, WAIT_ONE};
 use crate::iq::{IssueQueues, ReadyKey};
 use crate::policy::{dcra_caps, dcra_weight, HillState, PolicyKind};
 use crate::regfile::PhysRegFile;
-use crate::rob::EntryState;
 use crate::types::{Cycle, IqKind, PhysReg, RegClass, ThreadId};
 
 use super::Thread;
 
-/// One pending completion event.
-type CompletionEvent = (ThreadId, u64, u64);
+/// One pending completion event: the drain-order word (thread id in the
+/// high byte, sequence number below — sorting by it reproduces the
+/// `(tid, seq)` order the stepped drain has always used, with `gseq` as
+/// the final tiebreak) plus the dispatch stamp for staleness checks.
+type CompletionEvent = (u64, u64);
+
+/// Packs a completion event's drain-order word.
+#[inline]
+fn completion_order(tid: ThreadId, seq: u64) -> u64 {
+    debug_assert!(tid < 8 && seq < 1 << 56);
+    ((tid as u64) << 56) | seq
+}
+
+/// Unpacks a drain-order word into `(tid, seq)`.
+#[inline]
+fn completion_parts(order: u64) -> (ThreadId, u64) {
+    ((order >> 56) as ThreadId, order & ((1 << 56) - 1))
+}
 
 /// A timing wheel for completion events, replacing a global binary heap.
 ///
@@ -50,7 +66,7 @@ struct CompletionWheel {
     near_count: usize,
     /// Events at or beyond `base + slots.len()` (rare: queued-up memory
     /// bus transfers can push fills past the horizon).
-    far: BinaryHeap<Reverse<(Cycle, ThreadId, u64, u64)>>,
+    far: BinaryHeap<Reverse<(Cycle, u64, u64)>>,
     /// The bucket being drained (sorted), and the drain position.
     cur: Vec<CompletionEvent>,
     cur_idx: usize,
@@ -87,10 +103,11 @@ impl CompletionWheel {
     fn push(&mut self, ready_at: Cycle, tid: ThreadId, seq: u64, gseq: u64) {
         debug_assert!(ready_at >= self.base, "completion scheduled in the past");
         if ready_at - self.base < self.slots.len() as u64 {
-            self.slots[(ready_at & self.mask) as usize].push((tid, seq, gseq));
+            self.slots[(ready_at & self.mask) as usize].push((completion_order(tid, seq), gseq));
             self.near_count += 1;
         } else {
-            self.far.push(Reverse((ready_at, tid, seq, gseq)));
+            self.far
+                .push(Reverse((ready_at, completion_order(tid, seq), gseq)));
         }
         if ready_at < self.next_due.get() {
             self.next_due.set(ready_at);
@@ -100,12 +117,12 @@ impl CompletionWheel {
     /// Moves far events that fell inside the horizon into their buckets.
     fn migrate_far(&mut self) {
         let horizon = self.base + self.slots.len() as u64;
-        while let Some(&Reverse((ready, tid, seq, gseq))) = self.far.peek() {
+        while let Some(&Reverse((ready, order, gseq))) = self.far.peek() {
             if ready >= horizon {
                 break;
             }
             self.far.pop();
-            self.slots[(ready & self.mask) as usize].push((tid, seq, gseq));
+            self.slots[(ready & self.mask) as usize].push((order, gseq));
             self.near_count += 1;
         }
     }
@@ -281,7 +298,10 @@ impl SharedResources {
         if self.completions.is_empty() {
             return None;
         }
-        self.completions.pop_due(now)
+        self.completions.pop_due(now).map(|(order, gseq)| {
+            let (tid, seq) = completion_parts(order);
+            (tid, seq, gseq)
+        })
     }
 
     /// The due cycle of the earliest pending completion event, if any —
@@ -307,16 +327,21 @@ impl SharedResources {
             rf.set_ready(p);
         }
         // Fused drain + requeue (see `IssueQueues::wake_waiters`): the
-        // callback validates each waiter against the ROB and reports the
-        // queue to requeue it on once its last operand arrives.
-        self.iqs.wake_waiters(class, p, |tid, seq, gseq| {
-            let e = threads[tid].rob.get_mut(seq)?;
-            if e.gseq != gseq || e.state != EntryState::WaitIssue || e.waiting == 0 {
+        // callback validates each waiter handle against the slot's
+        // scheduler word — one load — decrements its wait count in
+        // place, and reports the queue to requeue it on once its last
+        // operand arrives.
+        self.iqs.wake_waiters(class, p, |tid, slot, gseq| {
+            let t = &mut threads[tid as usize].instrs;
+            let slot = slot as usize;
+            let s = t.sched[slot];
+            if s >> GSEQ_SHIFT != gseq || s & STAGE_MASK != ST_WAIT || s & WAIT_MASK == 0 {
                 return None;
             }
-            e.waiting -= 1;
-            if e.waiting == 0 {
-                Some(e.iq.expect("waiting entry sits in an IQ"))
+            let ns = s - WAIT_ONE;
+            t.sched[slot] = ns;
+            if ns & WAIT_MASK == 0 {
+                Some(sched_iq(ns).expect("waiting slot sits in an IQ"))
             } else {
                 None
             }
@@ -409,7 +434,7 @@ impl SharedResources {
     ) -> bool {
         let Some(hill) = &self.hill else { return true };
         let share = hill.share(tid);
-        if threads[tid].rob.len() >= ((cfg.rob_size as f64) * share) as usize {
+        if threads[tid].instrs.rob_len() >= ((cfg.rob_size as f64) * share) as usize {
             return false;
         }
         if let Some(k) = iq_kind {
@@ -438,7 +463,7 @@ impl SharedResources {
 
 #[cfg(test)]
 mod tests {
-    use super::CompletionWheel;
+    use super::{completion_order, CompletionWheel};
 
     #[test]
     fn wheel_pops_in_ready_tid_seq_order() {
@@ -448,9 +473,9 @@ mod tests {
         w.push(5, 0, 9, 90);
         assert_eq!(w.peek(), Some(3));
         assert_eq!(w.pop_due(2), None);
-        assert_eq!(w.pop_due(5), Some((0, 7, 70)));
-        assert_eq!(w.pop_due(5), Some((0, 9, 90)));
-        assert_eq!(w.pop_due(5), Some((1, 10, 100)));
+        assert_eq!(w.pop_due(5), Some((completion_order(0, 7), 70)));
+        assert_eq!(w.pop_due(5), Some((completion_order(0, 9), 90)));
+        assert_eq!(w.pop_due(5), Some((completion_order(1, 10), 100)));
         assert_eq!(w.pop_due(5), None);
         assert!(w.is_empty());
     }
@@ -469,12 +494,12 @@ mod tests {
         assert_eq!(w.pop_due(800), None);
         assert_eq!(w.peek(), Some(900));
         // Drain the near anchor, then cross the far event's cycle.
-        assert_eq!(w.pop_due(1000), Some((0, 2, 2)));
+        assert_eq!(w.pop_due(1000), Some((completion_order(0, 2), 2)));
         assert_eq!(w.pop_due(1000), None);
         assert_eq!(w.peek(), Some(far));
         assert_eq!(
             w.pop_due(far),
-            Some((0, 1, 1)),
+            Some((completion_order(0, 1), 1)),
             "far event delivered on time"
         );
         assert!(w.is_empty());
@@ -490,11 +515,11 @@ mod tests {
         w.push(a + CompletionWheel::SLOTS as u64, 0, 2, 2);
         assert_eq!(
             w.pop_due(a + 10 * CompletionWheel::SLOTS as u64),
-            Some((1, 1, 1))
+            Some((completion_order(1, 1), 1))
         );
         assert_eq!(
             w.pop_due(a + 10 * CompletionWheel::SLOTS as u64),
-            Some((0, 2, 2))
+            Some((completion_order(0, 2), 2))
         );
         assert!(w.is_empty());
     }

@@ -6,11 +6,18 @@
 //! pseudo-complete INV, every in-flight destination register is
 //! episode-tagged for early release, and the thread switches to
 //! [`ExecMode::Runahead`]. Exit ([`process_exits`], when the trigger's
-//! fill arrives): the entire window is squashed, episode registers are
-//! swept, the rename checkpoint (`fmap := amap`) is restored, and the
-//! fetch oracle rewinds to the trigger load.
+//! fill arrives): the entire window is squashed — a columnar walk over
+//! the thread's live slot range for per-entry resource cleanup, then a
+//! bulk window reset — episode registers are swept, the rename
+//! checkpoint (`fmap := amap`) is restored, and the fetch oracle rewinds
+//! to the trigger load.
 
-use crate::rob::{EntryState, RobEntry};
+use rat_isa::InstructionKind;
+
+use crate::instr_table::{
+    sched_iq, sched_stage, unpack_arch, unpack_reg, F_DMISS, F_INV, F_L2MISS, REG_NONE, ST_DONE,
+    ST_EXEC, ST_WAIT, STAGE_MASK,
+};
 use crate::types::{Cycle, ExecMode, ThreadId};
 
 use super::{Episode, SmtSimulator};
@@ -36,10 +43,13 @@ pub(super) fn enter_runahead(sim: &mut SmtSimulator, tid: ThreadId) {
     let trigger_seq;
     let exit_at;
     {
-        let front = sim.threads[tid].rob.front().expect("trigger at head");
-        debug_assert!(front.is_load() && front.l2_miss);
-        trigger_seq = front.seq;
-        exit_at = front.ready_at;
+        let t = &sim.threads[tid].instrs;
+        let front = t.rob_front_slot().expect("trigger at head");
+        debug_assert!(
+            t.meta[front].kind == InstructionKind::Load && t.meta[front].flags & F_L2MISS != 0
+        );
+        trigger_seq = t.rob_front_seq();
+        exit_at = t.front[front].ready_at;
     }
     sim.threads[tid].mode = ExecMode::Runahead;
     sim.threads[tid].diverged = false;
@@ -50,26 +60,37 @@ pub(super) fn enter_runahead(sim: &mut SmtSimulator, tid: ThreadId) {
     });
     sim.episodes_live += 1;
     sim.stats.threads[tid].runahead_episodes += 1;
+    sim.activity = true;
 
     // Invalidate the trigger and any other in-flight L2-miss loads:
     // they pseudo-complete with bogus values (their fills keep
     // prefetching in the hierarchy), and every in-flight register
     // becomes episode-owned so pseudo-retirement can free it early.
+    // Columnar pass over the live ROB range.
     let mut conversions = std::mem::take(&mut sim.res.conv_scratch);
     conversions.clear();
     let mut dmiss_drop = 0;
     {
         let thread = &mut sim.threads[tid];
-        for e in thread.rob.iter_mut() {
-            if e.is_load() && e.state == EntryState::Executing && e.l2_miss && !e.inv {
-                e.inv = true;
-                e.state = EntryState::Done;
-                if e.dmiss {
+        let t = &mut thread.instrs;
+        for seq in t.rob_seqs() {
+            let slot = t.slot_of(seq);
+            let m = t.meta[slot];
+            if m.kind == InstructionKind::Load
+                && sched_stage(t.sched[slot]) == ST_EXEC
+                && m.flags & (F_L2MISS | F_INV) == F_L2MISS
+            {
+                let mut flags = m.flags | F_INV;
+                // Converted loads never write back: their pending
+                // completion events become stale against the Done stage.
+                t.sched[slot] = (t.sched[slot] & !STAGE_MASK) | ST_DONE;
+                if flags & F_DMISS != 0 {
                     dmiss_drop += 1;
-                    e.dmiss = false;
+                    flags &= !F_DMISS;
                 }
-                if let Some((class, p)) = e.dst {
-                    conversions.push((class, p, e.dst_arch));
+                t.meta[slot].flags = flags;
+                if let Some((class, p)) = unpack_reg(t.regs[slot].dst) {
+                    conversions.push((class, p, unpack_arch(m.dst_arch)));
                 }
             }
         }
@@ -84,10 +105,17 @@ pub(super) fn enter_runahead(sim: &mut SmtSimulator, tid: ThreadId) {
     }
     sim.res.conv_scratch = conversions;
 
-    // Episode-tag every in-flight destination register.
+    // Episode-tag every in-flight destination register: a second
+    // columnar pass, over the rename cluster only.
     let mut dsts = std::mem::take(&mut sim.res.dst_scratch);
     dsts.clear();
-    dsts.extend(sim.threads[tid].rob.iter().filter_map(|e| e.dst));
+    {
+        let t = &sim.threads[tid].instrs;
+        dsts.extend(
+            t.rob_seqs()
+                .filter_map(|seq| unpack_reg(t.regs[t.slot_of(seq)].dst)),
+        );
+    }
     for &(class, p) in &dsts {
         sim.res.rf(class).mark_episode(p);
     }
@@ -98,10 +126,15 @@ pub(super) fn enter_runahead(sim: &mut SmtSimulator, tid: ThreadId) {
 fn exit_runahead(sim: &mut SmtSimulator, tid: ThreadId) {
     let ep = sim.threads[tid].episode.take().expect("episode to exit");
     sim.episodes_live -= 1;
+    sim.activity = true;
 
-    // Squash the thread's entire window (all of it is runahead work).
-    while let Some(e) = sim.threads[tid].rob.pop_back() {
-        cleanup_squashed(sim, tid, &e, false);
+    // Squash the thread's entire window (all of it is runahead work):
+    // walk the live range youngest-first for per-entry cleanup, each pop
+    // invalidating its slot, then reset the windows to the trigger.
+    while let Some(back_seq) = sim.threads[tid].instrs.rob_back_seq() {
+        let slot = sim.threads[tid].instrs.slot_of(back_seq);
+        cleanup_squashed(sim, tid, slot, false);
+        sim.threads[tid].instrs.rob_pop_back();
     }
     // Sweep episode registers that pseudo-retirement did not yet free.
     // A register freed earlier and re-allocated (possibly to another
@@ -114,11 +147,12 @@ fn exit_runahead(sim: &mut SmtSimulator, tid: ThreadId) {
     // Restore the checkpoint: speculative map := architectural map.
     sim.threads[tid].rename.reset_to_arch();
 
-    let squashed_frontend = sim.threads[tid].frontend.len() as u64;
+    let squashed_frontend = sim.threads[tid].instrs.fe_len() as u64;
     {
         let thread = &mut sim.threads[tid];
         thread.arch_inv = [false; 64];
-        thread.frontend.clear();
+        thread.instrs.fe_clear();
+        thread.instrs.reset_to(ep.trigger_seq);
         thread.branch_gate = None;
         thread.icache_wait = 0;
         thread.diverged = false;
@@ -135,38 +169,43 @@ fn exit_runahead(sim: &mut SmtSimulator, tid: ThreadId) {
     ts.runahead_cycles += sim.now - ep.entered_at;
 }
 
-/// Releases the resources of a squashed entry. `walkback` selects
-/// FLUSH-style rename recovery (restore prev mapping, free dst); the
-/// runahead exit path instead frees via episode tags + map reset.
-pub(super) fn cleanup_squashed(
-    sim: &mut SmtSimulator,
-    tid: ThreadId,
-    e: &RobEntry,
-    walkback: bool,
-) {
-    if e.state == EntryState::WaitIssue {
-        if let Some(kind) = e.iq {
-            sim.res.iqs.remove(kind, tid);
-        }
+/// Releases the resources of a squashed slot (the caller pops it right
+/// after). `walkback` selects FLUSH-style rename recovery (restore prev
+/// mapping, free dst); the runahead exit path instead frees via episode
+/// tags + map reset.
+pub(super) fn cleanup_squashed(sim: &mut SmtSimulator, tid: ThreadId, slot: usize, walkback: bool) {
+    let (sched, meta, regs, seq, addr) = {
+        let t = &sim.threads[tid].instrs;
+        let m = t.meta[slot];
+        (
+            t.sched[slot],
+            m,
+            t.regs[slot],
+            t.front[slot].seq,
+            (m.kind == InstructionKind::Store).then(|| t.front[slot].eff_addr),
+        )
+    };
+    if sched_stage(sched) == ST_WAIT {
+        let kind = sched_iq(sched).expect("WaitIssue slot sits in an IQ");
+        sim.res.iqs.remove(kind, tid);
     }
-    if e.dmiss {
+    if meta.flags & F_DMISS != 0 {
         sim.threads[tid].dmiss_inflight = sim.threads[tid].dmiss_inflight.saturating_sub(1);
     }
     if walkback {
-        if let (Some((class, dst)), Some(arch)) = (e.dst, e.dst_arch) {
-            let prev = e.prev.expect("renamed entry has prev mapping");
-            sim.threads[tid].rename.restore(arch, prev);
+        if let (Some((class, dst)), Some(arch)) = (unpack_reg(regs.dst), unpack_arch(meta.dst_arch))
+        {
+            debug_assert_ne!(regs.prev, REG_NONE, "renamed entry has prev mapping");
+            sim.threads[tid].rename.restore(arch, regs.prev as u16);
             sim.res.rf(class).free(dst, tid);
         }
-    } else if let Some((class, dst)) = e.dst {
+    } else if let Some((class, dst)) = unpack_reg(regs.dst) {
         sim.res.free_if_episode_owned(class, dst, tid);
     }
-    if e.is_store() {
-        if let Some(addr) = e.eff_addr {
-            sim.threads[tid].remove_store_addr(addr);
-        }
+    if let Some(addr) = addr {
+        sim.threads[tid].remove_store_addr(addr);
     }
-    if sim.threads[tid].branch_gate == Some(e.seq) {
+    if sim.threads[tid].branch_gate == Some(seq) {
         sim.threads[tid].branch_gate = None;
     }
     sim.res.rob_occupancy -= 1;
@@ -179,15 +218,16 @@ pub(super) fn cleanup_squashed(
 /// restores the rename map by walk-back, rewinds the fetch oracle, and
 /// gates fetch until `resume_at` (the missing load's fill time).
 pub(super) fn flush_thread(sim: &mut SmtSimulator, tid: ThreadId, keep_seq: u64, resume_at: Cycle) {
-    while let Some(back) = sim.threads[tid].rob.back() {
-        if back.seq <= keep_seq {
+    while let Some(back_seq) = sim.threads[tid].instrs.rob_back_seq() {
+        if back_seq <= keep_seq {
             break;
         }
-        let e = sim.threads[tid].rob.pop_back().expect("back exists");
-        cleanup_squashed(sim, tid, &e, true);
+        let slot = sim.threads[tid].instrs.slot_of(back_seq);
+        cleanup_squashed(sim, tid, slot, true);
+        sim.threads[tid].instrs.rob_pop_back();
     }
-    let squashed_frontend = sim.threads[tid].frontend.len() as u64;
-    sim.threads[tid].frontend.clear();
+    let squashed_frontend = sim.threads[tid].instrs.fe_len() as u64;
+    sim.threads[tid].instrs.fe_clear();
     sim.threads[tid].branch_gate = None;
     sim.threads[tid].icache_wait = 0;
     sim.stats.threads[tid].squashed += squashed_frontend;

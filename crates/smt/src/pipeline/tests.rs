@@ -147,7 +147,7 @@ fn register_leak_free_after_runahead() {
     // exit sweep).
     for _ in 0..100_000 {
         sim.cycle();
-        if sim.threads[0].rob.is_empty() && sim.threads[0].mode == ExecMode::Normal {
+        if sim.threads[0].instrs.rob_is_empty() && sim.threads[0].mode == ExecMode::Normal {
             break;
         }
     }
@@ -155,9 +155,9 @@ fn register_leak_free_after_runahead() {
     // once nothing is in flight... allow in-flight fetch buffer.
     let allocated = sim.res.int_rf.allocated(0);
     assert!(
-        allocated >= 32 && allocated <= 32 + sim.threads[0].rob.len(),
+        allocated >= 32 && allocated <= 32 + sim.threads[0].instrs.rob_len(),
         "int registers leaked: {allocated} allocated with {} in flight",
-        sim.threads[0].rob.len()
+        sim.threads[0].instrs.rob_len()
     );
 }
 
