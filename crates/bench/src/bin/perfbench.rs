@@ -3,9 +3,11 @@
 //! Every perf-oriented PR is judged against this harness: it times a
 //! fixed set of representative (mix × policy) cells — one per figure
 //! regime, with cycle-skip ablation pairs on the memory-bound mix where
-//! skipping matters most and fetch-replay ablation pairs on the RaT
-//! cells where squash re-execution dominates — prints a table, and
-//! writes the results to a JSON artifact (default `BENCH_4.json`) of
+//! skipping matters most, fetch-replay ablation pairs on the RaT
+//! cells where squash re-execution dominates, and RaT / ICOUNT / FLUSH
+//! coverage on the ILP and MIX groups so gains outside the tracked
+//! memory-bound cells stay visible — prints a table, and
+//! writes the results to a JSON artifact (default `BENCH_5.json`) of
 //! the form
 //! `{bench_name: {"wall_ms": .., "cycles_simulated": .., "cycles_per_sec": ..}}`
 //! so the perf trajectory is tracked in the repository.
@@ -18,10 +20,11 @@
 //!
 //! Flags: `--insts N` / `--warmup N` / `--seed N` (methodology),
 //! `--out PATH` (JSON artifact), `--compare PATH` (print per-regime
-//! cycles/sec deltas against an earlier artifact and fail on >25%
-//! regression), `--smoke` (tiny quota — verifies the harness runs end
-//! to end, e.g. in CI; the timings are meaningless, so `--compare`
-//! only reports and never gates under `--smoke`).
+//! cycles/sec deltas against an earlier artifact and fail on
+//! regressions), `--tolerance PCT` (the regression threshold for
+//! `--compare`; default 25), `--smoke` (tiny quota — verifies the
+//! harness runs end to end, e.g. in CI; the timings are meaningless, so
+//! `--compare` only reports and never gates under `--smoke`).
 
 use std::time::Instant;
 
@@ -76,6 +79,8 @@ const BENCHES: &[BenchSpec] = &[
         PolicyKind::Icount,
         false,
     ),
+    spec("ilp4_rat", WorkloadGroup::Ilp4, PolicyKind::Rat, false),
+    spec("ilp4_flush", WorkloadGroup::Ilp4, PolicyKind::Flush, false),
     spec(
         "mem4_icount",
         WorkloadGroup::Mem4,
@@ -102,6 +107,12 @@ const BENCHES: &[BenchSpec] = &[
     spec_noreplay("mem4_rat_noreplay", WorkloadGroup::Mem4, PolicyKind::Rat),
     spec("mix4_rat", WorkloadGroup::Mix4, PolicyKind::Rat, false),
     spec_noreplay("mix4_rat_noreplay", WorkloadGroup::Mix4, PolicyKind::Rat),
+    spec(
+        "mix4_icount",
+        WorkloadGroup::Mix4,
+        PolicyKind::Icount,
+        false,
+    ),
 ];
 
 struct BenchResult {
@@ -120,6 +131,9 @@ struct Args {
     seed: u64,
     out: String,
     compare: Option<String>,
+    /// Maximum tolerated cycles/sec regression under `--compare`, in
+    /// percent.
+    tolerance: f64,
     smoke: bool,
 }
 
@@ -128,8 +142,9 @@ fn parse_args() -> Args {
         insts: 30_000,
         warmup: 20_000,
         seed: 42,
-        out: "BENCH_4.json".to_string(),
+        out: "BENCH_5.json".to_string(),
         compare: None,
+        tolerance: 25.0,
         smoke: false,
     };
     let mut args = std::env::args().skip(1);
@@ -146,10 +161,18 @@ fn parse_args() -> Args {
             "--compare" => {
                 out.compare = Some(args.next().expect("expected a path after --compare"));
             }
+            "--tolerance" => {
+                out.tolerance = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|p: &f64| (0.0..100.0).contains(p))
+                    .expect("expected a percentage in [0, 100) after --tolerance");
+            }
             "--smoke" => out.smoke = true,
             "--help" | "-h" => {
                 eprintln!(
-                    "options: --insts N  --warmup N  --seed N  --out PATH  --compare PATH  --smoke"
+                    "options: --insts N  --warmup N  --seed N  --out PATH  --compare PATH  \
+                     --tolerance PCT  --smoke"
                 );
                 std::process::exit(0);
             }
@@ -246,11 +269,11 @@ fn parse_artifact(body: &str) -> Vec<(String, f64)> {
 }
 
 /// Prints per-regime cycles/sec deltas against a prior artifact.
-/// Returns `false` when any common regime regressed by more than 25%.
-/// Under `--smoke` the caller never gates (tiny-quota timings are
-/// meaningless and CI hardware differs from the benchmarking host); the
-/// deltas are still printed for visibility.
-fn compare_against(results: &[BenchResult], base_path: &str, smoke: bool) -> bool {
+/// Returns `false` when any common regime regressed by more than
+/// `tolerance` percent. Under `--smoke` the caller never gates
+/// (tiny-quota timings are meaningless and CI hardware differs from the
+/// benchmarking host); the deltas are still printed for visibility.
+fn compare_against(results: &[BenchResult], base_path: &str, tolerance: f64, smoke: bool) -> bool {
     let body = match std::fs::read_to_string(base_path) {
         Ok(b) => b,
         Err(e) => {
@@ -263,7 +286,8 @@ fn compare_against(results: &[BenchResult], base_path: &str, smoke: bool) -> boo
         eprintln!("perfbench: no benchmarks parsed from {base_path}");
         return false;
     }
-    println!("\ncompared to {base_path} (cycles/sec):");
+    let floor = 1.0 - tolerance / 100.0;
+    println!("\ncompared to {base_path} (cycles/sec, tolerance {tolerance:.0}%):");
     let mut ok = true;
     for (name, old) in &base {
         let Some(new) = results.iter().find(|r| r.name == name) else {
@@ -271,13 +295,17 @@ fn compare_against(results: &[BenchResult], base_path: &str, smoke: bool) -> boo
             continue;
         };
         let ratio = new.cycles_per_sec / old.max(1e-9);
-        let flag = if ratio < 0.75 { "  <-- REGRESSION" } else { "" };
+        let flag = if ratio < floor {
+            "  <-- REGRESSION"
+        } else {
+            ""
+        };
         println!(
             "  {name:<20} {:>10.2} -> {:>10.2} M/s  ({ratio:>5.2}x){flag}",
             old / 1e6,
             new.cycles_per_sec / 1e6
         );
-        if ratio < 0.75 {
+        if ratio < floor {
             ok = false;
         }
     }
@@ -350,9 +378,12 @@ fn main() {
     println!("\nwrote {}", args.out);
 
     if let Some(base_path) = &args.compare {
-        let ok = compare_against(&results, base_path, args.smoke);
+        let ok = compare_against(&results, base_path, args.tolerance, args.smoke);
         if !ok && !args.smoke {
-            eprintln!("perfbench: cycles/sec regressed by more than 25% vs {base_path}; failing");
+            eprintln!(
+                "perfbench: cycles/sec regressed by more than {:.0}% vs {base_path}; failing",
+                args.tolerance
+            );
             std::process::exit(1);
         }
     }

@@ -6,8 +6,8 @@
 //! cargo run --release --example runahead_anatomy [benchmark]
 //! ```
 
-use rat_core::smt::{PolicyKind, SmtConfig, SmtSimulator};
-use rat_core::workload::{Benchmark, ThreadImage};
+use rat_smt::{PolicyKind, SmtConfig, SmtSimulator};
+use rat_workload::{Benchmark, ThreadImage};
 
 fn main() {
     let bench = std::env::args()

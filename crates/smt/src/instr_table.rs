@@ -209,7 +209,7 @@ impl Meta {
     /// The branch prediction made at fetch, if any.
     #[inline]
     pub fn predicted(self) -> Option<bool> {
-        (self.flags & F_PRED != 0).then(|| self.flags & F_PRED_TAKEN != 0)
+        (self.flags & F_PRED != 0).then_some(self.flags & F_PRED_TAKEN != 0)
     }
 }
 
@@ -277,7 +277,10 @@ impl InstrTable {
     pub fn new(rob_budget: usize, fetch_buffer: usize) -> Self {
         let cap = (rob_budget + fetch_buffer).next_power_of_two().max(8);
         // Slots are packed into 13 bits of the issue-queue handle words.
-        assert!(cap <= 1 << 13, "instruction table too large for packed handles");
+        assert!(
+            cap <= 1 << 13,
+            "instruction table too large for packed handles"
+        );
         InstrTable {
             mask: (cap - 1) as u32,
             front_seq: 0,
@@ -498,7 +501,10 @@ impl InstrTable {
         for seq in self.fe_seqs() {
             let slot = self.slot_of(seq);
             live[slot] = true;
-            assert_eq!(self.front[slot].seq, seq, "fetch slot/seq mismatch at {seq}");
+            assert_eq!(
+                self.front[slot].seq, seq,
+                "fetch slot/seq mismatch at {seq}"
+            );
             assert_eq!(
                 self.sched[slot], ST_FETCHED,
                 "fetch slot carries stale scheduler state"

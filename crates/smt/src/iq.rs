@@ -294,7 +294,13 @@ mod tests {
         let mut out = Vec::new();
         for round in 0..100u64 {
             for w in 0..5 {
-                iq.add_waiter(RegClass::Int, (w % 8) as PhysReg, 0, round as u32, round * 10 + w as u64);
+                iq.add_waiter(
+                    RegClass::Int,
+                    (w % 8) as PhysReg,
+                    0,
+                    round as u32,
+                    round * 10 + w as u64,
+                );
             }
             for p in 0..8 {
                 iq.take_waiters_into(RegClass::Int, p, &mut out);

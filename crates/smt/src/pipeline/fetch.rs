@@ -20,12 +20,13 @@ pub(super) fn run(sim: &mut SmtSimulator) {
     // Thread-order scratch on the stack (n <= 8): the fetch stage runs
     // every cycle and must not allocate or call into the generic sort.
     let mut order = [0usize; 8];
-    match sim.cfg.policy {
+    let live = match sim.cfg.policy {
         PolicyKind::RoundRobin => {
             let start = sim.res.fetch_rr % n;
             for (k, slot) in order[..n].iter_mut().enumerate() {
                 *slot = (start + k) % n;
             }
+            n
         }
         _ => {
             // ICOUNT: ascending in-flight front-end instruction count.
@@ -37,16 +38,23 @@ pub(super) fn run(sim: &mut SmtSimulator) {
             // The (speculative, icount, rotation-rank) key packs into one
             // u64 with the thread id in the low byte (ranks are unique,
             // so keys are unique and stability is moot); an insertion
-            // sort over at most 8 u64s replaces the generic sort.
+            // sort over at most 8 u64s replaces the generic sort. Only
+            // fetchable threads get a key: ordering the blocked ones
+            // (skipped below anyway) is per-cycle work for nothing.
             let start = sim.res.fetch_rr % n; // stable tie-break rotation
             let mut keys = [u64::MAX; 8];
-            for (t, key) in keys[..n].iter_mut().enumerate() {
+            let mut fetchable_n = 0;
+            for t in 0..n {
+                if !fetchable(&sim.threads[t], &sim.cfg, sim.now) {
+                    continue;
+                }
                 let speculative = (sim.threads[t].mode == ExecMode::Runahead) as u64;
                 let icount = sim.threads[t].icount(&sim.res.iqs, t) as u64;
                 let rank = ((t + n - start) % n) as u64;
-                *key = (speculative << 40) | (icount << 16) | (rank << 8) | t as u64;
+                keys[fetchable_n] = (speculative << 40) | (icount << 16) | (rank << 8) | t as u64;
+                fetchable_n += 1;
             }
-            for i in 1..n {
+            for i in 1..fetchable_n {
                 let k = keys[i];
                 let mut j = i;
                 while j > 0 && keys[j - 1] > k {
@@ -55,19 +63,26 @@ pub(super) fn run(sim: &mut SmtSimulator) {
                 }
                 keys[j] = k;
             }
-            for (key, slot) in keys[..n].iter().zip(order[..n].iter_mut()) {
+            for (key, slot) in keys[..fetchable_n]
+                .iter()
+                .zip(order[..fetchable_n].iter_mut())
+            {
                 *slot = (key & 0xff) as usize;
             }
+            fetchable_n
         }
     };
     sim.res.fetch_rr += 1;
 
     let mut slots = sim.cfg.width;
     let mut threads_used = 0;
-    for &tid in &order[..n] {
+    for &tid in &order[..live] {
         if slots == 0 || threads_used >= sim.cfg.fetch_threads {
             break;
         }
+        // Under ICOUNT `order` holds only fetchable threads already; the
+        // re-check is three field compares and keeps this tail shared
+        // with the round-robin path.
         if !fetchable(&sim.threads[tid], &sim.cfg, sim.now) {
             continue;
         }

@@ -328,7 +328,7 @@ impl SmtSimulator {
     }
 
     /// Checks the cross-structure lifecycle invariants: each thread's
-    /// [`InstrTable`] window/slot consistency, agreement between the
+    /// instruction-table window/slot consistency, agreement between the
     /// shared-ROB occupancy budget and the tables' ring windows,
     /// agreement between the fetch oracle and the fetch window, and
     /// issue-queue occupancy accounting against live `WaitIssue` slots.

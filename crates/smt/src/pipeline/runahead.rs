@@ -15,8 +15,8 @@
 use rat_isa::InstructionKind;
 
 use crate::instr_table::{
-    sched_iq, sched_stage, unpack_arch, unpack_reg, F_DMISS, F_INV, F_L2MISS, REG_NONE, ST_DONE,
-    ST_EXEC, ST_WAIT, STAGE_MASK,
+    sched_iq, sched_stage, unpack_arch, unpack_reg, F_DMISS, F_INV, F_L2MISS, REG_NONE, STAGE_MASK,
+    ST_DONE, ST_EXEC, ST_WAIT,
 };
 use crate::types::{Cycle, ExecMode, ThreadId};
 
@@ -128,9 +128,14 @@ fn exit_runahead(sim: &mut SmtSimulator, tid: ThreadId) {
     sim.episodes_live -= 1;
     sim.activity = true;
 
-    // Squash the thread's entire window (all of it is runahead work):
-    // walk the live range youngest-first for per-entry cleanup, each pop
-    // invalidating its slot, then reset the windows to the trigger.
+    // Squash the thread's entire window (all of it is runahead work).
+    // The fetch window is positioned relative to the ROB length, so it
+    // must be invalidated *before* the ROB walk moves that boundary;
+    // then walk the live range youngest-first for per-entry cleanup,
+    // each pop invalidating its slot, and reset the windows to the
+    // trigger.
+    let squashed_frontend = sim.threads[tid].instrs.fe_len() as u64;
+    sim.threads[tid].instrs.fe_clear();
     while let Some(back_seq) = sim.threads[tid].instrs.rob_back_seq() {
         let slot = sim.threads[tid].instrs.slot_of(back_seq);
         cleanup_squashed(sim, tid, slot, false);
@@ -147,11 +152,9 @@ fn exit_runahead(sim: &mut SmtSimulator, tid: ThreadId) {
     // Restore the checkpoint: speculative map := architectural map.
     sim.threads[tid].rename.reset_to_arch();
 
-    let squashed_frontend = sim.threads[tid].instrs.fe_len() as u64;
     {
         let thread = &mut sim.threads[tid];
         thread.arch_inv = [false; 64];
-        thread.instrs.fe_clear();
         thread.instrs.reset_to(ep.trigger_seq);
         thread.branch_gate = None;
         thread.icache_wait = 0;
@@ -218,6 +221,10 @@ pub(super) fn cleanup_squashed(sim: &mut SmtSimulator, tid: ThreadId, slot: usiz
 /// restores the rename map by walk-back, rewinds the fetch oracle, and
 /// gates fetch until `resume_at` (the missing load's fill time).
 pub(super) fn flush_thread(sim: &mut SmtSimulator, tid: ThreadId, keep_seq: u64, resume_at: Cycle) {
+    // Fetch window first: its position is relative to the ROB length,
+    // which the walk-back below moves.
+    let squashed_frontend = sim.threads[tid].instrs.fe_len() as u64;
+    sim.threads[tid].instrs.fe_clear();
     while let Some(back_seq) = sim.threads[tid].instrs.rob_back_seq() {
         if back_seq <= keep_seq {
             break;
@@ -226,8 +233,6 @@ pub(super) fn flush_thread(sim: &mut SmtSimulator, tid: ThreadId, keep_seq: u64,
         cleanup_squashed(sim, tid, slot, true);
         sim.threads[tid].instrs.rob_pop_back();
     }
-    let squashed_frontend = sim.threads[tid].instrs.fe_len() as u64;
-    sim.threads[tid].instrs.fe_clear();
     sim.threads[tid].branch_gate = None;
     sim.threads[tid].icache_wait = 0;
     sim.stats.threads[tid].squashed += squashed_frontend;

@@ -270,6 +270,77 @@ fn any_pair_any_policy_progresses() {
     }
 }
 
+/// The instruction-lifecycle invariants hold at arbitrary mid-run points
+/// of random policy×mix runs: `SmtSimulator::check_invariants` asserts
+/// each thread's instruction-table window/slot consistency (stale slots
+/// invalidated after squashes, scheduler words coherent), oracle ↔ fetch
+/// window agreement, issue-queue occupancy against live `WaitIssue`
+/// slots, and the shared-ROB budget against the per-thread ring windows.
+///
+/// Sampling happens at random strides so checks land mid-episode,
+/// mid-squash-recovery and mid-quiescent-span, not just at quota
+/// boundaries; the policy draw includes the squash-heavy FLUSH and RaT
+/// schemes where stale-slot bugs would hide.
+#[test]
+fn instr_table_invariants_hold_under_random_runs() {
+    let policies = [
+        PolicyKind::RoundRobin,
+        PolicyKind::Icount,
+        PolicyKind::Stall,
+        PolicyKind::Flush,
+        PolicyKind::Dcra,
+        PolicyKind::Hill,
+        PolicyKind::Rat,
+    ];
+    for case in 0..8u64 {
+        let mut rng = WorkloadRng::seed_from_u64(0x5EED_000A + case);
+        let policy = policies[rng.below(policies.len() as u64) as usize];
+        let seed = rng.below(1000);
+        // Half the cases run a 4-thread Table 2 mix (shared-resource
+        // pressure), half a random pair.
+        let benches: Vec<Benchmark> = if case % 2 == 0 {
+            let groups = [
+                rat_core::workload::WorkloadGroup::Ilp4,
+                rat_core::workload::WorkloadGroup::Mix4,
+                rat_core::workload::WorkloadGroup::Mem4,
+            ];
+            let g = groups[rng.below(groups.len() as u64) as usize];
+            let mixes = rat_core::workload::mixes_for_group(g);
+            mixes[rng.below(mixes.len() as u64) as usize]
+                .benchmarks
+                .clone()
+        } else {
+            vec![
+                ALL_BENCHMARKS[rng.below(ALL_BENCHMARKS.len() as u64) as usize],
+                ALL_BENCHMARKS[rng.below(ALL_BENCHMARKS.len() as u64) as usize],
+            ]
+        };
+        let mut cfg = SmtConfig::hpca2008_baseline();
+        cfg.policy = policy;
+        let cpus = benches
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| ThreadImage::generate(b, seed + i as u64).build_cpu())
+            .collect();
+        let mut sim = SmtSimulator::new(cfg, cpus);
+        sim.check_invariants(); // reset state is already consistent
+        let mut checks = 0;
+        while sim.cycles() < 120_000 {
+            let stride = 300 + rng.below(1700);
+            for _ in 0..stride {
+                sim.cycle();
+            }
+            sim.check_invariants();
+            checks += 1;
+        }
+        assert!(checks >= 50, "case {case} under-sampled ({checks} checks)");
+        assert!(
+            sim.stats().threads.iter().any(|t| t.committed > 0),
+            "case {case} ({policy:?} over {benches:?}) made no progress"
+        );
+    }
+}
+
 /// Functional execution of a workload is identical whether or not it runs
 /// under a timing simulator that squashes and replays.
 #[test]
