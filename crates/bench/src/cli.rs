@@ -10,7 +10,9 @@ use rat_core::RunConfig;
 /// output for plotting), `--st-cache PATH` (persist single-thread
 /// reference IPCs across invocations), `--no-skip` (step every cycle —
 /// the cycle-skipping ablation), `--no-replay` (functionally re-execute
-/// squashed spans — the fetch-replay ablation), `--quick` (tiny preset).
+/// squashed spans — the fetch-replay ablation), `--no-drain` (keep every
+/// thread at full fidelity past its quota — the FAME-overshoot
+/// ablation), `--quick` (tiny preset).
 #[derive(Clone, Debug)]
 pub struct HarnessArgs {
     /// Per-thread committed-instruction quota for measurement.
@@ -35,6 +37,12 @@ pub struct HarnessArgs {
     /// Disable fetch-replay memoization (wall-clock ablation; the
     /// simulated numbers are bit-identical either way).
     pub no_replay: bool,
+    /// Disable post-quota drain mode (the paper's literal FAME
+    /// procedure: every thread runs at full fidelity until the slowest
+    /// reaches its quota). Per-thread measurement windows are
+    /// bit-identical either way; post-overlap shared-resource timing
+    /// drifts within the bound measured by `tests/quota_drain.rs`.
+    pub no_drain: bool,
 }
 
 impl Default for HarnessArgs {
@@ -49,6 +57,7 @@ impl Default for HarnessArgs {
             st_cache: None,
             no_skip: false,
             no_replay: false,
+            no_drain: false,
         }
     }
 }
@@ -83,6 +92,7 @@ impl HarnessArgs {
                 }
                 "--no-skip" => out.no_skip = true,
                 "--no-replay" => out.no_replay = true,
+                "--no-drain" => out.no_drain = true,
                 "--quick" => {
                     out.insts = 8_000;
                     out.warmup = 3_000;
@@ -92,7 +102,7 @@ impl HarnessArgs {
                     eprintln!(
                         "options: --insts N  --warmup N  --mixes N (0=all)  --seed N  \
                          --threads N (0=all cores, 1=serial)  --csv  --st-cache PATH  \
-                         --no-skip  --no-replay  --quick"
+                         --no-skip  --no-replay  --no-drain  --quick"
                     );
                     std::process::exit(0);
                 }
@@ -116,6 +126,7 @@ impl HarnessArgs {
             seed: self.seed,
             no_skip: self.no_skip,
             no_replay: self.no_replay,
+            no_drain: self.no_drain,
             ..RunConfig::default()
         }
     }
@@ -134,6 +145,7 @@ mod tests {
         assert!(a.st_cache.is_none());
         assert!(!a.no_skip);
         assert!(!a.no_replay);
+        assert!(!a.no_drain, "drain mode is on by default");
     }
 
     #[test]
@@ -177,15 +189,23 @@ mod tests {
     #[test]
     fn st_cache_and_no_skip_flags() {
         let a = HarnessArgs::parse(
-            ["--st-cache", "/tmp/st.txt", "--no-skip", "--no-replay"]
-                .iter()
-                .map(|s| s.to_string()),
+            [
+                "--st-cache",
+                "/tmp/st.txt",
+                "--no-skip",
+                "--no-replay",
+                "--no-drain",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
         );
         assert_eq!(a.st_cache.as_deref(), Some("/tmp/st.txt"));
         assert!(a.no_skip);
         assert!(a.run_config().no_skip);
         assert!(a.no_replay);
         assert!(a.run_config().no_replay);
+        assert!(a.no_drain);
+        assert!(a.run_config().no_drain);
     }
 
     #[test]

@@ -127,6 +127,7 @@ mod tests {
                 seed: 11,
                 no_skip: false,
                 no_replay: false,
+                no_drain: false,
             },
         )
     }

@@ -31,6 +31,15 @@ pub struct RunConfig {
     /// reference). Results are bit-identical either way (enforced by
     /// `tests/replay_cache.rs`); only wall-clock time differs.
     pub no_replay: bool,
+    /// Disable post-quota drain mode and keep every thread at full
+    /// fidelity until the slowest reaches its quota (the `--no-drain`
+    /// ablation reference, and the paper's literal FAME procedure).
+    /// Unlike the other two ablations this one is *not* bit-identical
+    /// end to end: every statistic inside a thread's own measurement
+    /// window matches exactly, but where one thread's window overlaps
+    /// another's drain the shared-resource timing drifts within the
+    /// bound measured by `tests/quota_drain.rs`.
+    pub no_drain: bool,
 }
 
 impl Default for RunConfig {
@@ -42,6 +51,7 @@ impl Default for RunConfig {
             seed: 42,
             no_skip: false,
             no_replay: false,
+            no_drain: false,
         }
     }
 }
@@ -63,6 +73,13 @@ pub struct MixResult {
     pub complete: bool,
     /// Full per-thread counters.
     pub thread_stats: Vec<ThreadStats>,
+    /// Each thread's counters frozen the cycle it reached its quota
+    /// (`None` for threads that never did — truncated runs). Everything
+    /// a thread's own measurement window reports lives here, unaffected
+    /// by whatever happened afterwards (other threads finishing, drain
+    /// mode); `tests/quota_drain.rs` compares these bit-exactly across
+    /// the drain ablation.
+    pub thread_stats_at_quota: Vec<Option<ThreadStats>>,
     /// L2-port / memory-bus contention counters of the shared hierarchy
     /// (cumulative over the whole simulation, warmup included).
     pub mem_events: MemEventStats,
@@ -115,6 +132,12 @@ pub struct Runner {
     /// Optional persistence for the ST-reference cache (see
     /// [`Runner::set_st_cache_path`]).
     st_cache_path: Option<PathBuf>,
+    /// Serialized warning channel: `run_mix` may fire its truncation
+    /// warning from concurrent `par_map` workers, so every warning is
+    /// emitted (or captured) under this lock — one intact line each,
+    /// never interleaved. `Some` captures instead of printing (see
+    /// [`Runner::capture_warnings`]).
+    warnings: Mutex<Option<Vec<String>>>,
 }
 
 impl Runner {
@@ -125,6 +148,36 @@ impl Runner {
             run,
             st_cache: Mutex::new(HashMap::new()),
             st_cache_path: None,
+            warnings: Mutex::new(None),
+        }
+    }
+
+    /// Switches the warning channel from stderr to an in-memory buffer;
+    /// retrieve (and clear) it with [`Runner::take_warnings`]. Used by
+    /// tests and by front ends that render warnings themselves.
+    pub fn capture_warnings(&mut self) {
+        *self.warnings.get_mut().expect("warning lock poisoned") = Some(Vec::new());
+    }
+
+    /// Drains the captured warnings (empty if capturing is off or
+    /// nothing warned).
+    pub fn take_warnings(&self) -> Vec<String> {
+        self.warnings
+            .lock()
+            .expect("warning lock poisoned")
+            .as_mut()
+            .map(std::mem::take)
+            .unwrap_or_default()
+    }
+
+    /// Emits one warning line atomically: captured if capturing is on,
+    /// otherwise written to stderr while holding the lock so concurrent
+    /// workers' warnings never interleave.
+    fn warn(&self, msg: String) {
+        let mut sink = self.warnings.lock().expect("warning lock poisoned");
+        match &mut *sink {
+            Some(buf) => buf.push(msg),
+            None => eprintln!("{msg}"),
         }
     }
 
@@ -233,17 +286,23 @@ impl Runner {
 
     /// Simulates `mix` under `policy`: warmup, stats reset, measurement
     /// until every thread commits its quota.
+    ///
+    /// The warmup phase always runs at full fidelity: post-quota drain
+    /// (enabled only for the measurement phase, unless `no_drain`)
+    /// would squash the warm pipeline state that warmup exists to
+    /// build, and the warmup overshoot is small anyway.
     pub fn run_mix(&self, mix: &Mix, policy: PolicyKind) -> MixResult {
         let mut sim = self.build_sim(&mix.benchmarks, policy, self.run.seed);
         sim.run_until_quota(self.run.warmup_insts, self.run.max_cycles);
         sim.reset_stats();
+        sim.set_quota_drain(!self.run.no_drain);
         let complete = sim.run_until_quota(self.run.insts_per_thread, self.run.max_cycles);
         if !complete {
-            eprintln!(
+            self.warn(format!(
                 "warning: {mix} under {policy} hit max_cycles ({}) before every thread \
                  reached its quota; IPCs are truncated-window estimates",
                 self.run.max_cycles
-            );
+            ));
         }
         let n = mix.benchmarks.len();
         let ipcs = (0..n).map(|t| sim.stats().thread_ipc(t)).collect();
@@ -255,6 +314,7 @@ impl Runner {
             cycles: sim.stats().cycles_since_reset(),
             complete,
             thread_stats: sim.stats().threads.clone(),
+            thread_stats_at_quota: sim.stats().threads_at_quota.clone(),
             mem_events: sim.stats().mem_events,
         }
     }
@@ -404,6 +464,7 @@ mod tests {
             seed: 7,
             no_skip: false,
             no_replay: false,
+            no_drain: false,
         }
     }
 
@@ -516,6 +577,7 @@ mod tests {
             seed: 7,
             no_skip: false,
             no_replay: false,
+            no_drain: false,
         };
         let runner = Runner::new(SmtConfig::hpca2008_baseline(), run);
         let mix = &mixes_for_group(WorkloadGroup::Ilp2)[0];
@@ -524,6 +586,48 @@ mod tests {
         let s = runner.summarize(&[r]);
         assert_eq!(s.mixes, 1);
         assert_eq!(s.incomplete, 1, "truncated mix must be counted");
+    }
+
+    #[test]
+    fn truncation_warnings_are_one_intact_line_per_cell() {
+        // Three truncated cells fired from concurrent par_map workers
+        // (the sweep's real shape): the mutex'd sink must deliver
+        // exactly one intact, newline-free warning line per cell, never
+        // interleaved fragments.
+        let run = RunConfig {
+            insts_per_thread: 10_000_000,
+            warmup_insts: 100,
+            max_cycles: 5_000,
+            seed: 7,
+            no_skip: false,
+            no_replay: false,
+            no_drain: false,
+        };
+        let mut runner = Runner::new(SmtConfig::hpca2008_baseline(), run);
+        runner.capture_warnings();
+        let mixes = &mixes_for_group(WorkloadGroup::Ilp2)[..3];
+        let results =
+            crate::parallel::par_map(3, mixes, |_, mix| runner.run_mix(mix, PolicyKind::Icount));
+        assert!(results.iter().all(|r| !r.complete), "cells must truncate");
+        let warnings = runner.take_warnings();
+        assert_eq!(warnings.len(), 3, "one warning per truncated cell");
+        for w in &warnings {
+            assert!(!w.contains('\n'), "warning must be a single line: {w:?}");
+            assert!(
+                w.starts_with("warning: ") && w.contains("hit max_cycles"),
+                "warning line mangled: {w:?}"
+            );
+        }
+        for mix in mixes {
+            let label = mix.to_string();
+            assert_eq!(
+                warnings.iter().filter(|w| w.contains(&label)).count(),
+                1,
+                "exactly one warning for {label}"
+            );
+        }
+        // The sink is drained; capturing stays on and empty.
+        assert!(runner.take_warnings().is_empty());
     }
 
     #[test]

@@ -23,6 +23,7 @@ fn main() {
         seed: 42,
         no_skip: false,
         no_replay: false,
+        no_drain: false,
     };
     let mut ucfg = SmtConfig::hpca2008_baseline();
     ucfg.hierarchy = HierarchyConfig::hpca2008_baseline().unlimited_bandwidth();

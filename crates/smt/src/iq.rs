@@ -114,6 +114,11 @@ impl IssueQueues {
         self.per_thread[tid].iter().sum()
     }
 
+    /// Entries thread `tid` holds in each queue, `[INT, FP, LS]`.
+    pub fn thread_kinds(&self, tid: ThreadId) -> [usize; 3] {
+        self.per_thread[tid]
+    }
+
     /// Accounts an entry entering queue `kind` at dispatch.
     pub fn insert(&mut self, kind: IqKind, tid: ThreadId) {
         debug_assert!(self.has_space(kind), "issue queue overflow");

@@ -197,13 +197,16 @@ fn gate(sim: &SmtSimulator, tid: ThreadId, d: &Decoded) -> DispatchDecision {
         return DispatchDecision::Blocked;
     }
     if let Some(k) = d.iq_kind {
-        if !sim.res.iqs.has_space(k) {
+        // Drained threads' notional entries count against the capacity
+        // (zero unless post-quota drain is active — see
+        // `pipeline::drain`).
+        if sim.res.iqs.occupancy(k) + sim.res.notional_iq[k.index()] >= sim.cfg.iq_size[k.index()] {
             return DispatchDecision::Blocked;
         }
     }
     if let Some(arch) = d.dst_arch {
         let class = reg_class(arch);
-        if sim.res.rf_ref(class).free_count() == 0 {
+        if sim.res.rf_ref(class).free_count() <= sim.res.notional_regs[class.index()] {
             return DispatchDecision::Blocked;
         }
     }

@@ -12,7 +12,7 @@ use crate::stats::ThreadStats;
 use crate::types::{Cycle, ExecMode, ThreadId};
 
 use super::resources::SharedResources;
-use super::{pred_key, tag_addr, SmtSimulator, Thread};
+use super::{drain, pred_key, tag_addr, SmtSimulator, Thread};
 
 /// Runs the fetch stage for one cycle.
 pub(super) fn run(sim: &mut SmtSimulator) {
@@ -45,7 +45,17 @@ pub(super) fn run(sim: &mut SmtSimulator) {
             let mut keys = [u64::MAX; 8];
             let mut fetchable_n = 0;
             for t in 0..n {
-                if !fetchable(&sim.threads[t], &sim.cfg, sim.now) {
+                // A phantom-active drained thread enters the order to
+                // displace fetch slots (its empty structures give it an
+                // icount of 0, exactly like its just-emptied
+                // full-fidelity self); otherwise only fetchable threads
+                // are ranked.
+                let include = if sim.threads[t].drained {
+                    drain::phantom_fetch_active(&sim.threads[t].drain, sim.now)
+                } else {
+                    fetchable(&sim.threads[t], &sim.cfg, sim.now)
+                };
+                if !include {
                     continue;
                 }
                 let speculative = (sim.threads[t].mode == ExecMode::Runahead) as u64;
@@ -80,6 +90,18 @@ pub(super) fn run(sim: &mut SmtSimulator) {
         if slots == 0 || threads_used >= sim.cfg.fetch_threads {
             break;
         }
+        if sim.threads[tid].drained {
+            // Paced phantom fetch: the drained thread burns a fetch
+            // turn (slots + a thread turn) without touching any state,
+            // so measuring threads keep losing the bandwidth its
+            // full-fidelity self would have taken. Not `activity`: no
+            // machine state changes.
+            if drain::phantom_fetch_active(&sim.threads[tid].drain, sim.now) {
+                slots -= slots.min(drain::PHANTOM_BURST);
+                threads_used += 1;
+            }
+            continue;
+        }
         // Under ICOUNT `order` holds only fetchable threads already; the
         // re-check is three field compares and keeps this tail shared
         // with the round-robin path.
@@ -104,6 +126,11 @@ pub(super) fn run(sim: &mut SmtSimulator) {
 }
 
 fn fetchable(t: &Thread, cfg: &SmtConfig, now: Cycle) -> bool {
+    // Drained threads fetch nothing: the drain engine commits straight
+    // from the oracle and charges its own I-line accesses.
+    if t.drained {
+        return false;
+    }
     if t.fetch_gated(now) {
         return false;
     }

@@ -36,6 +36,7 @@
 mod commit;
 mod complete;
 mod dispatch;
+mod drain;
 mod fetch;
 mod issue;
 mod resources;
@@ -108,6 +109,21 @@ struct Thread {
     /// runahead loads from these words observe the INV status; without it
     /// they silently use stale values (the paper's default).
     ra_inv_words: HashSet<u64>,
+    /// Whether the thread has been demoted to post-quota drain mode (see
+    /// [`drain`]): its window is squashed, it holds no pipeline
+    /// resources, and only the paced commit engine in `drain::run`
+    /// advances it.
+    drained: bool,
+    /// Pacing and pressure state of the drain engine (meaningful while
+    /// `drained`).
+    drain: drain::DrainState,
+    /// `(cycle, committed, mem_stall_cycles)` when the thread crossed
+    /// half its quota — the drain engine calibrates from here so the
+    /// cold-start transient right after the stats reset (empty
+    /// pipelines, cold post-reset predictor history) does not
+    /// contaminate its pace model. Pure bookkeeping: never observable
+    /// pre-demotion.
+    half_mark: Option<(Cycle, u64, u64)>,
 }
 
 impl Thread {
@@ -169,6 +185,16 @@ pub struct SmtSimulator {
     /// Event-driven fast-forwarding over dead cycles (default on; see
     /// [`SmtSimulator::set_cycle_skip`]).
     skip_enabled: bool,
+    /// Post-quota drain mode (default off; see
+    /// [`SmtSimulator::set_quota_drain`]). When on,
+    /// [`SmtSimulator::run_until_quota`] demotes a thread that reaches
+    /// its quota — while other threads are still measuring — from
+    /// full-fidelity simulation to the cheap commit-only engine in
+    /// [`drain`].
+    quota_drain: bool,
+    /// Number of threads currently demoted to drain mode (fast path for
+    /// the per-cycle drain stage).
+    drained_live: usize,
     /// Number of threads currently in a runahead episode (fast path for
     /// the per-cycle exit check).
     episodes_live: usize,
@@ -233,17 +259,23 @@ impl SmtSimulator {
                 fp_user: false,
                 no_retrigger: HashSet::new(),
                 ra_inv_words: HashSet::new(),
+                drained: false,
+                drain: drain::DrainState::default(),
+                half_mark: None,
             });
         }
 
         SmtSimulator {
             stats: SimStats {
                 threads: vec![ThreadStats::default(); n],
+                threads_at_quota: vec![None; n],
                 ..SimStats::default()
             },
             now: 0,
             last_progress: 0,
             skip_enabled: true,
+            quota_drain: false,
+            drained_live: 0,
             episodes_live: 0,
             activity: false,
             threads,
@@ -280,6 +312,39 @@ impl SmtSimulator {
     /// the `--no-skip` ablation reference.
     pub fn set_cycle_skip(&mut self, enabled: bool) {
         self.skip_enabled = enabled;
+    }
+
+    /// Enables or disables post-quota drain mode (off by default; the
+    /// experiment harness in `rat_core` turns it on unless the
+    /// `--no-drain` ablation is requested).
+    ///
+    /// Drain is *tail-only*: [`SmtSimulator::run_until_quota`] demotes
+    /// every finished thread the cycle the **second-to-last** thread
+    /// reaches its quota (i.e. only once a single thread is still
+    /// measuring — see the fidelity note in the `drain` module). A
+    /// demoted
+    /// thread becomes a commit-only engine driven by the fetch oracle:
+    /// its window is squashed (rename walk-back, so it holds exactly
+    /// its architectural registers and zero IQ/ROB/fetch-buffer
+    /// entries), and it thereafter commits in chunked self-timed
+    /// bursts, still charging I-side and D-side accesses to the shared
+    /// hierarchy and keeping its pre-demotion ROB share charged to the
+    /// shared-ROB budget so the last measuring thread sees realistic
+    /// contention.
+    ///
+    /// Every measurement window except the last thread's is
+    /// bit-identical either way — no demotion can fire while two or
+    /// more threads are measuring, and the quota-cycle snapshot in
+    /// [`SimStats::threads_at_quota`] is taken before demotion. Only
+    /// the last thread's post-overlap tail sees approximate timing,
+    /// with the drift bounded and measured by `tests/quota_drain.rs`.
+    /// Disabling drain re-promotes every drained thread (it resumes
+    /// full-fidelity fetch at its commit point).
+    pub fn set_quota_drain(&mut self, enabled: bool) {
+        self.quota_drain = enabled;
+        if !enabled {
+            drain::undrain_all(self);
+        }
     }
 
     /// Number of hardware threads.
@@ -342,8 +407,55 @@ impl SmtSimulator {
     /// Panics on any violation.
     pub fn check_invariants(&self) {
         let mut rob_total = 0;
+        let mut notional = 0;
+        let mut notional_iq = [0usize; 3];
+        let mut notional_regs = [0usize; 2];
         for (tid, t) in self.threads.iter().enumerate() {
             t.instrs.check_invariants();
+            if t.drained {
+                // A drained thread holds nothing: both table windows
+                // empty, zero issue-queue occupancy, and exactly its
+                // architectural register mappings. Its frozen
+                // pre-demotion ROB share stays charged to the shared
+                // budget (checked below); the oracle fetch point runs
+                // ahead of the frozen table, so the seq agreement check
+                // does not apply until re-promotion resyncs it.
+                assert_eq!(
+                    t.instrs.rob_len(),
+                    0,
+                    "drained thread {tid} holds ROB entries"
+                );
+                assert_eq!(
+                    t.instrs.fe_len(),
+                    0,
+                    "drained thread {tid} holds fetch entries"
+                );
+                for kind in [IqKind::Int, IqKind::Fp, IqKind::Ls] {
+                    assert_eq!(
+                        self.res.iqs.thread_occupancy(tid, kind),
+                        0,
+                        "drained thread {tid} holds {kind:?} queue entries"
+                    );
+                }
+                assert_eq!(
+                    self.res.int_rf.allocated(tid),
+                    32,
+                    "drained thread {tid} holds speculative INT registers"
+                );
+                assert_eq!(
+                    self.res.fp_rf.allocated(tid),
+                    32,
+                    "drained thread {tid} holds speculative FP registers"
+                );
+                notional += t.drain.rob_notional;
+                for (acc, n) in notional_iq.iter_mut().zip(t.drain.iq_notional) {
+                    *acc += n;
+                }
+                for (acc, n) in notional_regs.iter_mut().zip(t.drain.reg_notional) {
+                    *acc += n;
+                }
+                continue;
+            }
             rob_total += t.instrs.rob_len();
             assert_eq!(
                 t.oracle.next_seq(),
@@ -366,8 +478,28 @@ impl SmtSimulator {
             }
         }
         assert_eq!(
-            rob_total, self.res.rob_occupancy,
-            "shared ROB budget disagrees with the sum of per-thread windows"
+            rob_total + notional,
+            self.res.rob_occupancy,
+            "shared ROB budget disagrees with the per-thread windows plus drained notional shares"
+        );
+        assert_eq!(
+            notional_iq, self.res.notional_iq,
+            "notional IQ reservation disagrees with the drained threads' frozen shares"
+        );
+        assert_eq!(
+            notional_regs, self.res.notional_regs,
+            "notional register reservation disagrees with the drained threads' frozen shares"
+        );
+        for (kind, i) in [(IqKind::Int, 0), (IqKind::Fp, 1), (IqKind::Ls, 2)] {
+            assert!(
+                self.res.iqs.occupancy(kind) + self.res.notional_iq[i] <= self.cfg.iq_size[i],
+                "live {kind:?} queue entries plus notional reservation exceed capacity"
+            );
+        }
+        assert!(
+            self.res.int_rf.free_count() >= self.res.notional_regs[0]
+                && self.res.fp_rf.free_count() >= self.res.notional_regs[1],
+            "notional register reservation exceeds the free pool"
         );
     }
 
@@ -375,7 +507,14 @@ impl SmtSimulator {
     /// baselines and the cycle base are recorded so quota and IPC windows
     /// start here.
     pub fn reset_stats(&mut self) {
+        // A thread drained during warmup must be measured at full
+        // fidelity: re-promote everyone before the measurement window
+        // opens (it resumes fetching at its commit point).
+        drain::undrain_all(self);
         self.stats.cycles_at_reset = self.now;
+        for t in self.threads.iter_mut() {
+            t.half_mark = None;
+        }
         for t in self.stats.threads.iter_mut() {
             let committed = t.committed;
             *t = ThreadStats {
@@ -384,6 +523,7 @@ impl SmtSimulator {
                 ..ThreadStats::default()
             };
         }
+        self.stats.threads_at_quota.fill(None);
     }
 
     /// Runs until every thread has committed `quota` instructions since
@@ -395,22 +535,73 @@ impl SmtSimulator {
         loop {
             self.cycle();
             let mut all = true;
+            let mut newly_at_quota = false;
             for tid in 0..self.threads.len() {
                 let ts = &mut self.stats.threads[tid];
                 if ts.quota_cycle.is_none() {
+                    if self.threads[tid].half_mark.is_none()
+                        && ts.committed_since_reset() * 2 >= quota
+                    {
+                        self.threads[tid].half_mark =
+                            Some((self.now, ts.committed, ts.mem_stall_cycles));
+                    }
                     if ts.committed_since_reset() >= quota {
                         ts.quota_cycle = Some(self.now);
                         ts.committed_at_quota = ts.committed;
+                        // Freeze the thread's entire measurement-window
+                        // view before any post-quota accounting (in
+                        // particular before a drain demotion squashes
+                        // its window and charges the squash stats).
+                        self.stats.threads_at_quota[tid] = Some(*ts);
+                        newly_at_quota = true;
                     } else {
                         all = false;
                     }
                 }
             }
+            // Order matters for the drain-mode fidelity contract: the
+            // success return comes *before* any demotion, so a run in
+            // which every thread finishes on the same cycle (notably
+            // every single-thread run) never drains and stays
+            // bit-identical to `--no-drain` in its final machine state.
             if all {
                 return true;
             }
             if self.now >= deadline {
                 return false;
+            }
+            // Demote finished threads only once a *single* thread is
+            // still measuring. While two or more measurement windows
+            // are open, every thread stays at full fidelity — finished
+            // threads keep overshooting exactly as the paper's FAME
+            // methodology prescribes — so every window that closes
+            // before the last one is bit-identical with `--no-drain`.
+            // Measured with eager per-quota demotion instead: windows
+            // that overlapped a drained peer drifted up to +50% (the
+            // coupling a live thread exerts on a concurrently-measuring
+            // peer is fine-grained timing, which no commit-only engine
+            // reproduces), while the *last* window over drained
+            // companions stayed within ~1%. Draining only the tail
+            // keeps that accurate regime and still removes the
+            // dominant overshoot: the slowest thread's window is what
+            // every faster thread would otherwise ride out at full
+            // fidelity.
+            if newly_at_quota && self.quota_drain {
+                let measuring = self
+                    .stats
+                    .threads
+                    .iter()
+                    .filter(|t| t.quota_cycle.is_none())
+                    .count();
+                if measuring == 1 {
+                    for tid in 0..self.threads.len() {
+                        if self.stats.threads[tid].quota_cycle.is_some()
+                            && !self.threads[tid].drained
+                        {
+                            drain::demote(self, tid);
+                        }
+                    }
+                }
             }
             // Probe for a jump only after an idle cycle: a cycle that
             // performed work cannot have been quiescent, and the scan
@@ -485,6 +676,18 @@ impl SmtSimulator {
         }
 
         for (tid, t) in self.threads.iter().enumerate() {
+            // A drained thread acts only at its next self-timed burst,
+            // whose cycle is stored pacing state (updated only inside
+            // bursts, which are themselves interesting cycles); none of
+            // the stage gates below apply to it.
+            if t.drained {
+                let burst_at = t.drain.next_burst_at;
+                if burst_at <= at {
+                    return None;
+                }
+                next = next.min(burst_at);
+                continue;
+            }
             // Runahead episode exit.
             if let Some(ep) = t.episode {
                 if ep.exit_at <= at {
@@ -558,10 +761,16 @@ impl SmtSimulator {
         self.res.fetch_rr = self.res.fetch_rr.wrapping_add(k as usize);
         for tid in 0..n {
             let m = self.threads[tid].mode.index();
+            let rob = self.threads[tid].instrs.rob_len() as u64;
+            let iq = self.res.iqs.thread_kinds(tid);
             let ts = &mut self.stats.threads[tid];
             ts.mode_cycles[m] += k;
             ts.int_reg_cycles[m] += k * self.res.int_rf.allocated(tid) as u64;
             ts.fp_reg_cycles[m] += k * self.res.fp_rf.allocated(tid) as u64;
+            ts.rob_occ_cycles += k * rob;
+            for (acc, occ) in ts.iq_occ_cycles.iter_mut().zip(iq) {
+                *acc += k * occ as u64;
+            }
         }
         // `stats.mem_events` needs no update: a dead span performs no
         // hierarchy access, so the per-cycle mirror would re-copy the
@@ -580,6 +789,9 @@ impl SmtSimulator {
         issue::run(self);
         dispatch::run(self);
         fetch::run(self);
+        if self.drained_live > 0 {
+            drain::run(self);
+        }
         self.per_cycle_updates();
         assert!(
             self.now - self.last_progress < 200_000,
@@ -598,10 +810,16 @@ impl SmtSimulator {
         }
         for tid in 0..self.threads.len() {
             let m = self.threads[tid].mode.index();
+            let rob = self.threads[tid].instrs.rob_len() as u64;
+            let iq = self.res.iqs.thread_kinds(tid);
             let ts = &mut self.stats.threads[tid];
             ts.mode_cycles[m] += 1;
             ts.int_reg_cycles[m] += self.res.int_rf.allocated(tid) as u64;
             ts.fp_reg_cycles[m] += self.res.fp_rf.allocated(tid) as u64;
+            ts.rob_occ_cycles += rob;
+            for (acc, occ) in ts.iq_occ_cycles.iter_mut().zip(iq) {
+                *acc += occ as u64;
+            }
         }
         // Mirror the shared hierarchy's contention counters so
         // `SimStats` snapshots carry them (bus occupancy, port

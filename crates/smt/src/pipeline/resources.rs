@@ -212,6 +212,15 @@ pub(super) struct SharedResources {
     pub(super) gseq: u64,
     /// Shared-ROB occupancy (the 512-entry capacity budget).
     pub(super) rob_occupancy: usize,
+    /// Issue-queue entries (per kind) notionally held by drained
+    /// threads — reserved against the capacity in the dispatch gate so
+    /// measuring threads keep contending, without live entries behind
+    /// them (see `pipeline::drain`).
+    pub(super) notional_iq: [usize; 3],
+    /// Renaming physical registers (`[INT, FP]`) notionally held by
+    /// drained threads — reserved against `free_count` in the dispatch
+    /// gate.
+    pub(super) notional_regs: [usize; 2],
     pub(super) commit_rr: usize,
     pub(super) dispatch_rr: usize,
     pub(super) fetch_rr: usize,
@@ -245,6 +254,8 @@ impl SharedResources {
             completions: CompletionWheel::new(),
             gseq: 0,
             rob_occupancy: 0,
+            notional_iq: [0; 3],
+            notional_regs: [0; 2],
             commit_rr: 0,
             dispatch_rr: 0,
             fetch_rr: 0,

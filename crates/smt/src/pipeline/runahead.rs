@@ -123,7 +123,7 @@ pub(super) fn enter_runahead(sim: &mut SmtSimulator, tid: ThreadId) {
     sim.res.dst_scratch = dsts;
 }
 
-fn exit_runahead(sim: &mut SmtSimulator, tid: ThreadId) {
+pub(super) fn exit_runahead(sim: &mut SmtSimulator, tid: ThreadId) {
     let ep = sim.threads[tid].episode.take().expect("episode to exit");
     sim.episodes_live -= 1;
     sim.activity = true;

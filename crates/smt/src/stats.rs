@@ -48,6 +48,16 @@ pub struct ThreadStats {
     pub int_reg_cycles: [u64; 2],
     /// Sum over cycles of allocated FP physical registers, split by mode.
     pub fp_reg_cycles: [u64; 2],
+    /// Sum over cycles of the thread's ROB occupancy (entry-cycles).
+    /// `/ cycles_since_reset` gives the time-averaged window share the
+    /// drain engine freezes as notional occupancy at demotion — an
+    /// instant sample would land on a fill peak or a post-commit trough
+    /// more or less at random.
+    pub rob_occ_cycles: u64,
+    /// Sum over cycles of the thread's issue-queue occupancy per kind
+    /// (`[INT, FP, LS]` entry-cycles), same role as
+    /// [`Self::rob_occ_cycles`].
+    pub iq_occ_cycles: [u64; 3],
     /// Cycle at which this thread reached the measurement quota (FAME-like
     /// per-thread endpoint), if it has.
     pub quota_cycle: Option<Cycle>,
@@ -118,6 +128,25 @@ pub struct SimStats {
     /// compute, so all other statistics match the `--no-replay`
     /// ablation exactly.
     pub fetch_replays: u64,
+    /// Snapshot of each thread's counters taken the cycle its quota was
+    /// reached (before any post-quota accounting, in particular before a
+    /// drain-mode demotion squashes its window). `None` until the thread
+    /// reaches its quota. This is what the drain-equivalence suite
+    /// (`tests/quota_drain.rs`) compares bit-exactly: everything a
+    /// thread's own measurement window reports is frozen here.
+    pub threads_at_quota: Vec<Option<ThreadStats>>,
+    /// Instructions committed by the post-quota drain engine instead of
+    /// the full-fidelity pipeline (cumulative, warmup included). Unlike
+    /// `skipped_cycles`/`fetch_replays`, drain mode is an
+    /// *approximation* of the overshoot tail: demotion is tail-only
+    /// (it fires once a single thread is still measuring), so every
+    /// measurement window except the last thread's is bit-identical,
+    /// and the last window's post-overlap timing drifts within the
+    /// bound measured by `tests/quota_drain.rs`.
+    pub drain_commits: u64,
+    /// Threads demoted to drain mode (cumulative over warmup and
+    /// measurement; a thread demoted in both phases counts twice).
+    pub drained_threads: u64,
 }
 
 impl SimStats {

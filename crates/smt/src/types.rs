@@ -26,6 +26,17 @@ pub enum RegClass {
     Fp,
 }
 
+impl RegClass {
+    /// Index for `[INT, FP]` array storage.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            RegClass::Int => 0,
+            RegClass::Fp => 1,
+        }
+    }
+}
+
 /// Which issue queue an instruction dispatches into (Table 1: 64-entry
 /// INT, FP and load/store queues).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]

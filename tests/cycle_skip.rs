@@ -30,6 +30,7 @@ fn quick(no_skip: bool) -> RunConfig {
         seed: 42,
         no_skip,
         no_replay: false,
+        no_drain: false,
     }
 }
 
@@ -117,6 +118,7 @@ fn truncated_runs_are_bit_identical_too() {
         seed: 42,
         no_skip,
         no_replay: false,
+        no_drain: false,
     };
     let skip =
         Runner::new(SmtConfig::hpca2008_baseline(), mk(false)).run_mix(mix, PolicyKind::Icount);

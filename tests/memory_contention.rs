@@ -16,6 +16,7 @@ fn quick_run() -> RunConfig {
         seed: 42,
         no_skip: false,
         no_replay: false,
+        no_drain: false,
     }
 }
 

@@ -341,6 +341,149 @@ fn instr_table_invariants_hold_under_random_runs() {
     }
 }
 
+/// Drain-mode invariants hold at arbitrary mid-run points of random
+/// policy×mix runs with post-quota drain enabled. Demotion only happens
+/// inside `run_until_quota`, so the run is sliced into random-length
+/// `max_cycles` windows and `SmtSimulator::check_invariants` fires at
+/// each slice boundary — landing mid-drain, mid-burst-backlog, and
+/// around demotion edges. The invariants asserted for a drained thread:
+/// both table windows empty, zero issue-queue occupancy, exactly its 32
+/// INT + 32 FP architectural registers, and its frozen notional ROB
+/// share conserved in the shared-ROB budget.
+#[test]
+fn drain_invariants_hold_under_random_runs() {
+    let policies = [
+        PolicyKind::RoundRobin,
+        PolicyKind::Icount,
+        PolicyKind::Stall,
+        PolicyKind::Flush,
+        PolicyKind::Dcra,
+        PolicyKind::Hill,
+        PolicyKind::Rat,
+    ];
+    let mut total_drained = 0;
+    for case in 0..6u64 {
+        let mut rng = WorkloadRng::seed_from_u64(0x5EED_000B + case);
+        let policy = policies[rng.below(policies.len() as u64) as usize];
+        let seed = rng.below(1000);
+        // 4-thread Table 2 mixes only: drain needs threads that reach
+        // their quotas at different times.
+        let groups = [
+            rat_core::workload::WorkloadGroup::Ilp4,
+            rat_core::workload::WorkloadGroup::Mix4,
+            rat_core::workload::WorkloadGroup::Mem4,
+        ];
+        let g = groups[rng.below(groups.len() as u64) as usize];
+        let mixes = rat_core::workload::mixes_for_group(g);
+        let benches = mixes[rng.below(mixes.len() as u64) as usize]
+            .benchmarks
+            .clone();
+        let mut cfg = SmtConfig::hpca2008_baseline();
+        cfg.policy = policy;
+        let cpus = benches
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| ThreadImage::generate(b, seed + i as u64).build_cpu())
+            .collect();
+        let mut sim = SmtSimulator::new(cfg, cpus);
+        sim.set_quota_drain(true);
+        let quota = 2_000;
+        let mut done = false;
+        for _ in 0..2_000 {
+            done = sim.run_until_quota(quota, 200 + rng.below(1800));
+            sim.check_invariants();
+            if done {
+                break;
+            }
+        }
+        assert!(
+            done,
+            "{policy:?} over {benches:?} never met the quota (case {case})"
+        );
+        for tid in 0..benches.len() {
+            let ts = sim.thread_stats(tid);
+            assert!(
+                ts.quota_cycle.is_some(),
+                "case {case}: thread {tid} completed without a quota cycle"
+            );
+            assert!(
+                ts.committed_at_quota - ts.committed_at_reset >= quota,
+                "case {case}: thread {tid} quota snapshot below the quota"
+            );
+        }
+        total_drained += sim.stats().drained_threads;
+    }
+    assert!(
+        total_drained > 0,
+        "no case ever demoted a thread: the drain invariants were never exercised"
+    );
+}
+
+/// `quota_cycle` is monotone non-decreasing in the quota size, and the
+/// commit count frozen at the quota covers the quota, for every thread
+/// across random policy×mix×seed draws. Run with drain *off*: quota
+/// detection is then purely observational (the machine's behavior does
+/// not depend on the quota parameter at all), which makes monotonicity
+/// exact — the same deterministic execution is being watched for a
+/// later milestone.
+#[test]
+fn quota_cycle_monotone_in_quota() {
+    let policies = [
+        PolicyKind::RoundRobin,
+        PolicyKind::Icount,
+        PolicyKind::Stall,
+        PolicyKind::Flush,
+        PolicyKind::Dcra,
+        PolicyKind::Hill,
+        PolicyKind::Rat,
+    ];
+    for case in 0..5u64 {
+        let mut rng = WorkloadRng::seed_from_u64(0x5EED_000C + case);
+        let policy = policies[rng.below(policies.len() as u64) as usize];
+        let seed = rng.below(1000);
+        let benches = [
+            ALL_BENCHMARKS[rng.below(ALL_BENCHMARKS.len() as u64) as usize],
+            ALL_BENCHMARKS[rng.below(ALL_BENCHMARKS.len() as u64) as usize],
+        ];
+        let mut prev: Option<Vec<u64>> = None;
+        for quota in [300u64, 700, 1_500] {
+            let mut cfg = SmtConfig::hpca2008_baseline();
+            cfg.policy = policy;
+            let cpus = benches
+                .iter()
+                .enumerate()
+                .map(|(i, &b)| ThreadImage::generate(b, seed + i as u64).build_cpu())
+                .collect();
+            let mut sim = SmtSimulator::new(cfg, cpus);
+            sim.set_quota_drain(false);
+            assert!(
+                sim.run_until_quota(quota, 40_000_000),
+                "case {case}: {policy:?} over {benches:?} stalled at quota {quota}"
+            );
+            let cycles: Vec<u64> = (0..benches.len())
+                .map(|tid| {
+                    let ts = sim.thread_stats(tid);
+                    assert!(
+                        ts.committed_at_quota - ts.committed_at_reset >= quota,
+                        "case {case} quota {quota}: thread {tid} short commit window"
+                    );
+                    ts.quota_cycle.expect("completed run has quota cycles")
+                })
+                .collect();
+            if let Some(prev) = &prev {
+                for (tid, (small, large)) in prev.iter().zip(&cycles).enumerate() {
+                    assert!(
+                        large >= small,
+                        "case {case}: thread {tid} met a larger quota earlier \
+                         ({large} < {small})"
+                    );
+                }
+            }
+            prev = Some(cycles);
+        }
+    }
+}
+
 /// Functional execution of a workload is identical whether or not it runs
 /// under a timing simulator that squashes and replays.
 #[test]

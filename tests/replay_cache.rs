@@ -36,6 +36,7 @@ fn quick(no_replay: bool) -> RunConfig {
         seed: 42,
         no_skip: false,
         no_replay,
+        no_drain: false,
     }
 }
 
@@ -108,6 +109,7 @@ fn truncated_runs_are_bit_identical_too() {
         seed: 42,
         no_skip: false,
         no_replay,
+        no_drain: false,
     };
     let fast = Runner::new(SmtConfig::hpca2008_baseline(), mk(false)).run_mix(mix, PolicyKind::Rat);
     let slow = Runner::new(SmtConfig::hpca2008_baseline(), mk(true)).run_mix(mix, PolicyKind::Rat);
