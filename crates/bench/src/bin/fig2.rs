@@ -4,7 +4,10 @@
 //! The group × policy × mix matrix runs in parallel over all cores
 //! (`--threads 1` for a serial run; the tables are identical).
 
-use rat_bench::{emit_truncation_note, mark_row_label, policy_matrix, HarnessArgs, TableWriter};
+use rat_bench::{
+    emit_truncation_note, mark_row_label, policy_matrix, report_failures, HarnessArgs,
+    SweepSession, TableWriter,
+};
 use rat_core::Runner;
 use rat_smt::{PolicyKind, SmtConfig};
 
@@ -21,11 +24,15 @@ fn main() {
     if let Some(p) = &args.st_cache {
         runner.set_st_cache_path(p.as_str());
     }
+    let policies = args.filter_policies(&POLICIES);
+    let session = SweepSession::from_args(&args);
 
-    let matrix = policy_matrix(&runner, &POLICIES, args.mixes, args.threads);
+    let (matrix, failures) = policy_matrix(&runner, &policies, args.mixes, args.threads, &session);
 
-    let mut thr = TableWriter::new(&["group", "ICOUNT", "DCRA", "HILL", "RaT"]);
-    let mut fair = TableWriter::new(&["group", "ICOUNT", "DCRA", "HILL", "RaT"]);
+    let mut headers = vec!["group".to_string()];
+    headers.extend(policies.iter().map(|p| p.name().to_string()));
+    let mut thr = TableWriter::from_headers(headers.clone());
+    let mut fair = TableWriter::from_headers(headers);
     for (g, summaries) in &matrix {
         let truncated = summaries.iter().any(|s| s.incomplete > 0);
         let label = mark_row_label(g.name(), truncated);
@@ -53,4 +60,8 @@ fn main() {
             .any(|(_, ss)| ss.iter().any(|s| s.incomplete > 0)),
         args.csv,
     );
+    let code = report_failures(&failures);
+    if code != 0 {
+        std::process::exit(code);
+    }
 }

@@ -4,7 +4,10 @@
 //! ICOUNT rides along as the first policy column of the parallel sweep
 //! and provides the per-group normalization denominator.
 
-use rat_bench::{emit_truncation_note, mark_row_label, policy_matrix, HarnessArgs, TableWriter};
+use rat_bench::{
+    emit_truncation_note, mark_row_label, policy_matrix, report_failures, HarnessArgs,
+    SweepSession, TableWriter,
+};
 use rat_core::Runner;
 use rat_smt::{PolicyKind, SmtConfig};
 
@@ -24,10 +27,18 @@ fn main() {
     if let Some(p) = &args.st_cache {
         runner.set_st_cache_path(p.as_str());
     }
+    // ED² is normalized to ICOUNT, so the baseline always occupies
+    // column 0 even when --policies narrows the technique set.
+    let mut policies = args.filter_policies(&POLICIES);
+    policies.retain(|&p| p != PolicyKind::Icount);
+    policies.insert(0, PolicyKind::Icount);
+    let session = SweepSession::from_args(&args);
 
-    let matrix = policy_matrix(&runner, &POLICIES, args.mixes, args.threads);
+    let (matrix, failures) = policy_matrix(&runner, &policies, args.mixes, args.threads, &session);
 
-    let mut t = TableWriter::new(&["group", "STALL", "FLUSH", "DCRA", "HILL", "RaT"]);
+    let mut headers = vec!["group".to_string()];
+    headers.extend(policies[1..].iter().map(|p| p.name().to_string()));
+    let mut t = TableWriter::from_headers(headers);
     for (g, summaries) in &matrix {
         let base = &summaries[0];
         // A truncated mix on either side of a ratio taints the row.
@@ -48,4 +59,8 @@ fn main() {
             .any(|(_, ss)| ss.iter().any(|s| s.incomplete > 0)),
         args.csv,
     );
+    let code = report_failures(&failures);
+    if code != 0 {
+        std::process::exit(code);
+    }
 }

@@ -13,8 +13,11 @@
 //! Every (mix × variant) simulation is independent, so the whole
 //! ablation matrix runs in parallel over all cores.
 
-use rat_bench::{emit_truncation_note, mark_row_label, select_mixes, HarnessArgs, TableWriter};
-use rat_core::{parallel, MixResult, Runner};
+use rat_bench::{
+    emit_truncation_note, mark_row_label, report_failures, run_cells, select_mixes, HarnessArgs,
+    SweepCell, SweepSession, TableWriter,
+};
+use rat_core::{MixResult, Runner};
 use rat_smt::{PolicyKind, RunaheadVariant, SmtConfig};
 use rat_workload::{Mix, ThreadClass, ALL_GROUPS};
 
@@ -74,6 +77,7 @@ fn main() {
         }
     };
 
+    let session = SweepSession::from_args(&args);
     let groups: Vec<(usize, Vec<Mix>)> = ALL_GROUPS
         .iter()
         .enumerate()
@@ -86,17 +90,27 @@ fn main() {
             (0..mixes.len()).flat_map(move |mi| (0..n_variants).map(move |which| (*gi, mi, which)))
         })
         .collect();
-    let results: Vec<MixResult> = parallel::par_map(args.threads, &tasks, |_, &(gi, mi, which)| {
-        runners[which].run_mix(&groups[gi].1[mi], policy_of(which))
-    });
+    // The journal distinguishes the variants by the runners' differing
+    // config fingerprints, so all four share one `--resume` file.
+    let cells: Vec<SweepCell<'_>> = tasks
+        .iter()
+        .map(|&(gi, mi, which)| SweepCell {
+            runner: &runners[which],
+            mix: groups[gi].1[mi].clone(),
+            policy: policy_of(which),
+        })
+        .collect();
+    let report = run_cells(&cells, args.threads, &session);
 
-    // Regroup: per group, per mix, the four variant results.
+    // Regroup: per group, per mix, the four variant results. A mix that
+    // lost any variant to a failure is dropped from its group's
+    // averages below (its surviving cells are still journaled).
     let mut per_group: Vec<Vec<[Option<MixResult>; 4]>> = groups
         .iter()
         .map(|(_, mixes)| (0..mixes.len()).map(|_| [None, None, None, None]).collect())
         .collect();
-    for (&(gi, mi, which), result) in tasks.iter().zip(results) {
-        per_group[gi][mi][which] = Some(result);
+    for (&(gi, mi, which), result) in tasks.iter().zip(report.results) {
+        per_group[gi][mi][which] = result;
     }
 
     let mut t = TableWriter::new(&[
@@ -110,12 +124,21 @@ fn main() {
         let (mut pf_gain, mut ra_gain) = (0.0, 0.0);
         let (mut ovh_sum, mut ovh_n) = (0.0, 0usize);
         let mut truncated = false;
+        let mut surviving = 0usize;
         for (mi, mix) in groups[gi].1.iter().enumerate() {
             let cell = &per_group[gi][mi];
-            let r_full = cell[FULL].as_ref().expect("ran");
-            let r_nopf = cell[NOPF].as_ref().expect("ran");
-            let r_nofetch = cell[NOFETCH].as_ref().expect("ran");
-            let r_base = cell[BASE].as_ref().expect("ran");
+            // All four variants of a mix must have completed for its
+            // ratios to be meaningful; a mix hit by a cell failure is
+            // dropped from the averages.
+            let (Some(r_full), Some(r_nopf), Some(r_nofetch), Some(r_base)) = (
+                cell[FULL].as_ref(),
+                cell[NOPF].as_ref(),
+                cell[NOFETCH].as_ref(),
+                cell[BASE].as_ref(),
+            ) else {
+                continue;
+            };
+            surviving += 1;
             truncated |= cell.iter().flatten().any(|r| !r.complete);
             pf_gain += r_full.throughput() / r_nopf.throughput() - 1.0;
             ra_gain += r_nofetch.throughput() / r_base.throughput() - 1.0;
@@ -127,17 +150,23 @@ fn main() {
                 ovh_n += 1;
             }
         }
-        let n = groups[gi].1.len() as f64;
         let ovh = if ovh_n > 0 {
             format!("{:+.1}", 100.0 * ovh_sum / ovh_n as f64)
         } else {
             "n/a".to_string()
         };
+        let pct = |sum: f64| {
+            if surviving > 0 {
+                format!("{:+.1}", 100.0 * sum / surviving as f64)
+            } else {
+                "n/a".to_string()
+            }
+        };
         any_truncated |= truncated;
         t.row(vec![
             mark_row_label(g.name(), truncated),
-            format!("{:+.1}", 100.0 * pf_gain / n),
-            format!("{:+.1}", 100.0 * ra_gain / n),
+            pct(pf_gain),
+            pct(ra_gain),
             ovh,
         ]);
     }
@@ -147,5 +176,9 @@ fn main() {
         println!("\n(prefetching: RaT vs RaT-no-prefetch; resource availability: RaT-no-fetch vs");
         println!(" ICOUNT; overhead: ILP co-runners under RaT-no-prefetch vs ICOUNT — negative");
         println!(" means the useless-runahead worst case costs the other threads that much.)");
+    }
+    let code = report_failures(&report.failures);
+    if code != 0 {
+        std::process::exit(code);
     }
 }

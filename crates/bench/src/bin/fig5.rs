@@ -4,8 +4,11 @@
 //! Every mix simulation is independent, so all groups' mixes run in
 //! parallel over all cores.
 
-use rat_bench::{emit_truncation_note, mark_row_label, select_mixes, HarnessArgs, TableWriter};
-use rat_core::{parallel, MixResult, Runner};
+use rat_bench::{
+    emit_truncation_note, mark_row_label, report_failures, run_cells, select_mixes, HarnessArgs,
+    SweepCell, SweepSession, TableWriter,
+};
+use rat_core::Runner;
 use rat_smt::{PolicyKind, SmtConfig};
 use rat_workload::{Mix, ALL_GROUPS};
 
@@ -15,6 +18,7 @@ fn main() {
     if let Some(p) = &args.st_cache {
         runner.set_st_cache_path(p.as_str());
     }
+    let session = SweepSession::from_args(&args);
 
     let tasks: Vec<(usize, Mix)> = ALL_GROUPS
         .iter()
@@ -25,9 +29,16 @@ fn main() {
                 .map(move |m| (gi, m))
         })
         .collect();
-    let results: Vec<MixResult> = parallel::par_map(args.threads, &tasks, |_, (_, mix)| {
-        runner.run_mix(mix, PolicyKind::Rat)
-    });
+    let cells: Vec<SweepCell<'_>> = tasks
+        .iter()
+        .map(|(_, mix)| SweepCell {
+            runner: &runner,
+            mix: mix.clone(),
+            policy: PolicyKind::Rat,
+        })
+        .collect();
+    let report = run_cells(&cells, args.threads, &session);
+    let results = &report.results;
 
     let mut t = TableWriter::new(&["group", "normal mode", "runahead mode", "ratio"]);
     let mut any_truncated = false;
@@ -37,10 +48,12 @@ fn main() {
         let (mut normal, mut nn) = (0.0, 0u64);
         let (mut ra, mut rn) = (0.0, 0u64);
         let mut truncated = false;
-        for ((tgi, _), r) in tasks.iter().zip(&results) {
+        for ((tgi, _), r) in tasks.iter().zip(results) {
             if *tgi != gi {
                 continue;
             }
+            // A failed cell contributes nothing to its group's averages.
+            let Some(r) = r else { continue };
             truncated |= !r.complete;
             for ts in &r.thread_stats {
                 if let Some(v) = ts.regs_per_cycle(0) {
@@ -77,4 +90,8 @@ fn main() {
         args.csv,
     );
     emit_truncation_note(any_truncated, args.csv);
+    let code = report_failures(&report.failures);
+    if code != 0 {
+        std::process::exit(code);
+    }
 }

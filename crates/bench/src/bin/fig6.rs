@@ -14,8 +14,11 @@
 //! fairness are simulated once per (benchmark, size) instead of once per
 //! cell. Cells still run in parallel over all cores.
 
-use rat_bench::{emit_truncation_note, mark_row_label, select_mixes, HarnessArgs, TableWriter};
-use rat_core::{parallel, GroupSummary, RunConfig, Runner};
+use rat_bench::{
+    emit_truncation_note, mark_row_label, report_failures, run_cells, select_mixes, CellFailure,
+    HarnessArgs, SweepCell, SweepSession, TableWriter,
+};
+use rat_core::{GroupSummary, MixResult, RunConfig, Runner};
 use rat_smt::{PolicyKind, SmtConfig};
 use rat_workload::{Mix, WorkloadGroup};
 
@@ -45,7 +48,8 @@ fn sweep(
     sizes: &[usize],
     runners: &[(usize, Runner)],
     args: &HarnessArgs,
-) -> (TableWriter, TableWriter, bool) {
+    session: &SweepSession,
+) -> (TableWriter, TableWriter, bool, Vec<CellFailure>) {
     let mut header: Vec<String> = vec!["policy/group".into()];
     header.extend(sizes.iter().map(|s| format!("{s}r")));
     let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
@@ -54,9 +58,10 @@ fn sweep(
 
     let policies = [PolicyKind::Flush, PolicyKind::Rat];
 
-    // One task per (group, policy, register size) cell; each cell borrows
-    // the shared per-size runner, so concurrent cells of the same size
-    // hit one ST-reference cache.
+    // One row per (group, policy, register size); each row fans out into
+    // one cell per mix, so panic isolation and journaling are per mix.
+    // Each cell borrows the shared per-size runner, so concurrent cells
+    // of the same size hit one ST-reference cache.
     let mixes_of: Vec<Vec<Mix>> = groups
         .iter()
         .map(|&g| select_mixes(g, args.mixes))
@@ -68,10 +73,39 @@ fn sweep(
                 .flat_map(move |&p| sizes.iter().map(move |&size| (gi, p, size)))
         })
         .collect();
-    let summaries: Vec<GroupSummary> =
-        parallel::par_map(args.threads, &tasks, |_, &(gi, policy, size)| {
-            runner_of(runners, size).run_group(&mixes_of[gi], policy)
-        });
+    let mut cell_rows: Vec<usize> = Vec::new();
+    let mut cells: Vec<SweepCell<'_>> = Vec::new();
+    for (row, &(gi, policy, size)) in tasks.iter().enumerate() {
+        for m in &mixes_of[gi] {
+            cell_rows.push(row);
+            cells.push(SweepCell {
+                runner: runner_of(runners, size),
+                mix: m.clone(),
+                policy,
+            });
+        }
+    }
+    let report = run_cells(&cells, args.threads, session);
+    let mut buckets: Vec<Vec<MixResult>> = vec![Vec::new(); tasks.len()];
+    for (&row, result) in cell_rows.iter().zip(report.results) {
+        if let Some(r) = result {
+            buckets[row].push(r);
+        }
+    }
+    // A row that lost mixes to failures is summarized over the
+    // survivors; an all-failed row reports zeros (the process still
+    // exits non-zero via the failure list).
+    let summaries: Vec<GroupSummary> = tasks
+        .iter()
+        .zip(&buckets)
+        .map(|(&(_, _, size), results)| {
+            if results.is_empty() {
+                GroupSummary::default()
+            } else {
+                runner_of(runners, size).summarize(results)
+            }
+        })
+        .collect();
 
     // tasks iterate sizes innermost, so each row is a consecutive chunk.
     for (chunk_idx, chunk) in summaries.chunks(sizes.len()).enumerate() {
@@ -89,7 +123,7 @@ fn sweep(
         fair.row(frow);
     }
     let truncated = summaries.iter().any(|s| s.incomplete > 0);
-    (thr, fair, truncated)
+    (thr, fair, truncated, report.failures)
 }
 
 fn main() {
@@ -146,7 +180,8 @@ fn main() {
         }
     }
 
-    let (t2, f2, trunc2) = sweep(&groups_2t, &SIZES_2T, &runners, &args);
+    let session = SweepSession::from_args(&args);
+    let (t2, f2, trunc2, fail2) = sweep(&groups_2t, &SIZES_2T, &runners, &args, &session);
     t2.emit(
         "Figure 6(a). Throughput vs register file size, 2-thread workloads",
         args.csv,
@@ -157,7 +192,7 @@ fn main() {
         args.csv,
     );
     println!();
-    let (t4, f4, trunc4) = sweep(&groups_4t, &SIZES_4T, &runners, &args);
+    let (t4, f4, trunc4, fail4) = sweep(&groups_4t, &SIZES_4T, &runners, &args, &session);
     t4.emit(
         "Figure 6(b). Throughput vs register file size, 4-thread workloads",
         args.csv,
@@ -168,4 +203,9 @@ fn main() {
         args.csv,
     );
     emit_truncation_note(trunc2 || trunc4, args.csv);
+    let failures: Vec<CellFailure> = fail2.into_iter().chain(fail4).collect();
+    let code = report_failures(&failures);
+    if code != 0 {
+        std::process::exit(code);
+    }
 }

@@ -1,6 +1,7 @@
 //! Minimal argument parsing shared by the figure binaries.
 
-use rat_core::RunConfig;
+use rat_core::{FaultPlan, RunConfig};
+use rat_smt::PolicyKind;
 
 /// Common harness options.
 ///
@@ -43,6 +44,19 @@ pub struct HarnessArgs {
     /// bit-identical either way; post-overlap shared-resource timing
     /// drifts within the bound measured by `tests/quota_drain.rs`.
     pub no_drain: bool,
+    /// Journal path for the crash-safe result store: completed cells
+    /// persist here the moment they finish, and a re-invocation with the
+    /// same path replays them and recomputes only missing/failed cells —
+    /// output is bit-identical to an uninterrupted run.
+    pub resume: Option<String>,
+    /// Deterministic fault-injection plan
+    /// (see [`rat_core::FaultPlan::parse`]): `panic@CELL`, `flip@REC`,
+    /// `torn@REC`, `enospc@REC` tokens, or `seed:N`.
+    pub fault_plan: Option<String>,
+    /// Restrict (and reorder) the sweep's policy set: comma-separated
+    /// policy names resolved by [`PolicyKind::from_name`]. `None` keeps
+    /// each figure's full default set.
+    pub policies: Option<Vec<String>>,
 }
 
 impl Default for HarnessArgs {
@@ -58,6 +72,9 @@ impl Default for HarnessArgs {
             no_skip: false,
             no_replay: false,
             no_drain: false,
+            resume: None,
+            fault_plan: None,
+            policies: None,
         }
     }
 }
@@ -93,6 +110,41 @@ impl HarnessArgs {
                 "--no-skip" => out.no_skip = true,
                 "--no-replay" => out.no_replay = true,
                 "--no-drain" => out.no_drain = true,
+                "--resume" => {
+                    out.resume = Some(
+                        args.next()
+                            .unwrap_or_else(|| panic!("expected a path after --resume")),
+                    );
+                }
+                "--fault-plan" => {
+                    let spec = args
+                        .next()
+                        .unwrap_or_else(|| panic!("expected a plan after --fault-plan"));
+                    // Validate now so a typo fails before any simulation.
+                    if let Err(e) = FaultPlan::parse(&spec) {
+                        panic!("--fault-plan: {e}");
+                    }
+                    out.fault_plan = Some(spec);
+                }
+                "--policies" => {
+                    let list = args
+                        .next()
+                        .unwrap_or_else(|| panic!("expected a list after --policies"));
+                    let names: Vec<String> = list
+                        .split(',')
+                        .map(|p| {
+                            let p = p.trim();
+                            if PolicyKind::from_name(p).is_none() {
+                                panic!("--policies: unknown policy {p:?}");
+                            }
+                            p.to_string()
+                        })
+                        .collect();
+                    if names.is_empty() {
+                        panic!("--policies: empty list");
+                    }
+                    out.policies = Some(names);
+                }
                 "--quick" => {
                     out.insts = 8_000;
                     out.warmup = 3_000;
@@ -102,6 +154,9 @@ impl HarnessArgs {
                     eprintln!(
                         "options: --insts N  --warmup N  --mixes N (0=all)  --seed N  \
                          --threads N (0=all cores, 1=serial)  --csv  --st-cache PATH  \
+                         --resume PATH (crash-safe result journal; replay + recompute)  \
+                         --fault-plan SPEC (panic@C,flip@R,torn@R,enospc@R or seed:N)  \
+                         --policies A,B,.. (restrict the policy set)  \
                          --no-skip  --no-replay  --no-drain  --quick"
                     );
                     std::process::exit(0);
@@ -115,6 +170,20 @@ impl HarnessArgs {
     /// Parses the process arguments (skipping `argv[0]`).
     pub fn from_env() -> Self {
         Self::parse(std::env::args().skip(1))
+    }
+
+    /// The policy set a sweep should run: `default` (the figure's
+    /// definition) unless `--policies` was given, in which case the
+    /// requested policies in the requested order. The names were
+    /// validated at parse time, so resolution cannot fail.
+    pub fn filter_policies(&self, default: &[PolicyKind]) -> Vec<PolicyKind> {
+        match &self.policies {
+            None => default.to_vec(),
+            Some(names) => names
+                .iter()
+                .map(|n| PolicyKind::from_name(n).expect("validated at parse time"))
+                .collect(),
+        }
     }
 
     /// The [`RunConfig`] these arguments describe (remaining fields from
@@ -206,6 +275,44 @@ mod tests {
         assert!(a.run_config().no_replay);
         assert!(a.no_drain);
         assert!(a.run_config().no_drain);
+    }
+
+    #[test]
+    fn resume_and_fault_plan_flags() {
+        let a = HarnessArgs::parse(
+            [
+                "--resume",
+                "/tmp/sweep.journal",
+                "--fault-plan",
+                "panic@2,flip@0",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        );
+        assert_eq!(a.resume.as_deref(), Some("/tmp/sweep.journal"));
+        assert_eq!(a.fault_plan.as_deref(), Some("panic@2,flip@0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "--fault-plan")]
+    fn bad_fault_plan_fails_fast() {
+        HarnessArgs::parse(["--fault-plan", "explode@9"].iter().map(|s| s.to_string()));
+    }
+
+    #[test]
+    fn policies_filter_resolves_and_reorders() {
+        let a = HarnessArgs::parse(["--policies", "rat,icount"].iter().map(|s| s.to_string()));
+        let filtered = a.filter_policies(&[PolicyKind::Icount, PolicyKind::Flush]);
+        assert_eq!(filtered, vec![PolicyKind::Rat, PolicyKind::Icount]);
+        // Without the flag, the figure's default set is untouched.
+        let d = HarnessArgs::default().filter_policies(&[PolicyKind::Flush]);
+        assert_eq!(d, vec![PolicyKind::Flush]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown policy")]
+    fn unknown_policy_fails_fast() {
+        HarnessArgs::parse(["--policies", "icount,bogus"].iter().map(|s| s.to_string()));
     }
 
     #[test]

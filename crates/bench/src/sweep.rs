@@ -1,17 +1,30 @@
-//! Parallel sweep plumbing shared by the figure binaries.
+//! Parallel, crash-safe sweep plumbing shared by the figure binaries.
 //!
 //! A figure is a matrix of independent simulations (workload groups ×
-//! policies × mixes). [`policy_matrix`] flattens that matrix into one
-//! task list, fans it out over all cores with
-//! [`rat_core::parallel::par_map`], and reassembles per-group summaries
-//! in deterministic order — the printed tables are bit-identical at any
-//! thread count (`--threads 1` reproduces the serial run exactly).
+//! policies × mixes). The binaries flatten that matrix into one
+//! deterministic cell list and hand it to [`run_cells`], which
+//!
+//! * replays cells already present in the `--resume` result journal
+//!   ([`rat_core::ResultStore`]) bit-identically,
+//! * fans the remaining cells out over all cores with
+//!   [`rat_core::parallel::par_map_isolated`] — a panicking cell (real
+//!   bug or `--fault-plan` injection) is caught on its worker and
+//!   carried as a [`CellFailure`] while every healthy cell completes,
+//! * journals each completed cell the moment it finishes, so a killed
+//!   sweep resumes where it died.
+//!
+//! [`policy_matrix`] builds the standard group × policy matrix on top
+//! and reassembles per-group summaries in deterministic order — the
+//! printed tables are bit-identical at any thread count and across
+//! kill/resume cycles (`--threads 1` reproduces the serial run exactly).
 
 use std::time::Instant;
 
-use rat_core::{parallel, GroupSummary, MixResult, Runner};
+use rat_core::{parallel, CellKey, FaultPlan, GroupSummary, MixResult, ResultStore, Runner};
 use rat_smt::PolicyKind;
 use rat_workload::{mixes_for_group, Mix, WorkloadGroup, ALL_GROUPS};
+
+use crate::cli::HarnessArgs;
 
 /// The Table 2 mixes of `group`, truncated to `cap` when `cap > 0`.
 pub fn select_mixes(group: WorkloadGroup, cap: usize) -> Vec<Mix> {
@@ -50,16 +63,194 @@ pub fn emit_truncation_note(truncated: bool, csv: bool) {
     }
 }
 
+/// The crash-safety context of one sweep invocation: the optional
+/// result journal (`--resume`) and the optional fault-injection plan
+/// (`--fault-plan`).
+#[derive(Default)]
+pub struct SweepSession {
+    /// Completed-cell journal; `None` runs everything and persists
+    /// nothing.
+    pub store: Option<ResultStore>,
+    /// Injected faults; `None` runs clean.
+    pub fault_plan: Option<FaultPlan>,
+}
+
+impl SweepSession {
+    /// No journal, no faults — the plain sweep.
+    pub fn none() -> SweepSession {
+        SweepSession::default()
+    }
+
+    /// Builds the session the harness arguments describe: opens (or
+    /// creates) the `--resume` journal — reporting replayed/quarantined
+    /// record counts — and installs the `--fault-plan` into both the
+    /// worker pool (panics) and the store (record corruption).
+    pub fn from_args(args: &HarnessArgs) -> SweepSession {
+        let fault_plan = args
+            .fault_plan
+            .as_deref()
+            .map(|spec| FaultPlan::parse(spec).expect("validated at argument parse time"));
+        let store = args.resume.as_deref().map(|path| {
+            let mut store = ResultStore::open(path);
+            let s = store.stats();
+            if s.loaded > 0 || s.quarantined > 0 {
+                eprintln!(
+                    "resume: {} — {} completed cell(s) to replay, {} corrupt record(s) \
+                     quarantined for recompute",
+                    path, s.loaded, s.quarantined
+                );
+            }
+            if let Some(plan) = &fault_plan {
+                store.set_fault_plan(plan.clone());
+            }
+            store
+        });
+        SweepSession { store, fault_plan }
+    }
+}
+
+/// One sweep cell: a mix simulated under a policy on a runner's
+/// hardware/methodology configuration.
+pub struct SweepCell<'a> {
+    /// The runner whose configuration (and ST-reference cache) this
+    /// cell uses.
+    pub runner: &'a Runner,
+    /// The simulated mix.
+    pub mix: Mix,
+    /// The policy under test.
+    pub policy: PolicyKind,
+}
+
+impl SweepCell<'_> {
+    fn key(&self) -> CellKey {
+        CellKey::new(
+            self.runner.config_fingerprint(),
+            &self.mix,
+            self.policy,
+            self.runner.run_config().seed,
+        )
+    }
+}
+
+/// A cell whose worker panicked: full identity for the end-of-sweep
+/// report, so a failed cell can be pinpointed (and re-run) exactly.
+#[derive(Clone, Debug)]
+pub struct CellFailure {
+    /// Index in the sweep's deterministic cell list.
+    pub index: usize,
+    /// `group(mix) under policy [seed, cfg]` — see
+    /// [`rat_core::CellKey::identity`].
+    pub identity: String,
+    /// The panic message.
+    pub error: String,
+}
+
+/// What [`run_cells`] produced.
+pub struct SweepReport {
+    /// Per-cell results in input order; `None` where the cell failed.
+    pub results: Vec<Option<MixResult>>,
+    /// Failed cells (empty on a healthy sweep).
+    pub failures: Vec<CellFailure>,
+    /// Cells replayed from the result journal.
+    pub replayed: usize,
+    /// Cells actually simulated this run.
+    pub computed: usize,
+}
+
+/// Runs every cell, crash-safely (see the module docs). All healthy
+/// cells complete even when some panic; completed cells persist to the
+/// session's journal as they finish.
+pub fn run_cells(cells: &[SweepCell<'_>], threads: usize, session: &SweepSession) -> SweepReport {
+    let keys: Vec<CellKey> = cells.iter().map(SweepCell::key).collect();
+    let mut results: Vec<Option<MixResult>> = vec![None; cells.len()];
+    let mut replayed = 0usize;
+
+    let mut missing: Vec<usize> = Vec::new();
+    for (i, key) in keys.iter().enumerate() {
+        match session.store.as_ref().and_then(|s| s.get(key)) {
+            Some(hit) => {
+                results[i] = Some(hit);
+                replayed += 1;
+            }
+            None => missing.push(i),
+        }
+    }
+
+    let computed_results = parallel::par_map_isolated(threads, &missing, |_, &ci| {
+        if let Some(plan) = &session.fault_plan {
+            if plan.should_panic(ci) {
+                panic!("injected fault: worker panic at cell {ci}");
+            }
+        }
+        let result = cells[ci].runner.run_mix(&cells[ci].mix, cells[ci].policy);
+        if let Some(store) = &session.store {
+            // Journal immediately — durability is per cell, not per
+            // sweep, so a kill after this point never re-simulates it.
+            store.put(&keys[ci], &result);
+        }
+        result
+    });
+
+    let mut failures = Vec::new();
+    let mut computed = 0usize;
+    for (&ci, outcome) in missing.iter().zip(computed_results) {
+        match outcome {
+            Ok(r) => {
+                results[ci] = Some(r);
+                computed += 1;
+            }
+            Err(e) => failures.push(CellFailure {
+                index: ci,
+                identity: keys[ci].identity(),
+                error: e.message,
+            }),
+        }
+    }
+    SweepReport {
+        results,
+        failures,
+        replayed,
+        computed,
+    }
+}
+
+/// Prints the end-of-sweep failure report (after all healthy cells have
+/// finished) and returns the process exit code: `1` if any cell failed,
+/// `0` otherwise. The caller emits its tables first so partial results
+/// are never thrown away.
+pub fn report_failures(failures: &[CellFailure]) -> i32 {
+    if failures.is_empty() {
+        return 0;
+    }
+    eprintln!(
+        "sweep: {} cell(s) FAILED (all healthy cells completed):",
+        failures.len()
+    );
+    for f in failures {
+        eprintln!("  cell {}: {} — {}", f.index, f.identity, f.error);
+    }
+    eprintln!("sweep: re-run with --resume to recompute only the failed cells");
+    1
+}
+
 /// Runs every Table 2 group under every policy in parallel and returns
 /// `(group, per-policy summary)` rows in `ALL_GROUPS` × `policies`
-/// order. ST references for Eq. 2 fairness are prewarmed (in parallel)
-/// first so sweep workers hit the cache.
+/// order, plus the failed cells (empty on a healthy run). ST references
+/// for Eq. 2 fairness are prewarmed (in parallel) first so sweep
+/// workers hit the cache.
+///
+/// A `(group, policy)` bucket that lost cells to failures is summarized
+/// over its surviving mixes (an all-failed bucket reports a zeroed
+/// [`GroupSummary`]); the caller decides what to do with the failure
+/// list — the figure binaries print their tables, then exit non-zero
+/// via [`report_failures`].
 pub fn policy_matrix(
     runner: &Runner,
     policies: &[PolicyKind],
     mixes_cap: usize,
     threads: usize,
-) -> Vec<(WorkloadGroup, Vec<GroupSummary>)> {
+    session: &SweepSession,
+) -> (Vec<(WorkloadGroup, Vec<GroupSummary>)>, Vec<CellFailure>) {
     let started = Instant::now();
     let groups: Vec<(WorkloadGroup, Vec<Mix>)> = ALL_GROUPS
         .iter()
@@ -74,41 +265,79 @@ pub fn policy_matrix(
     );
 
     // One task per (group, policy, mix) cell for even load balance.
-    let tasks: Vec<(usize, usize, &Mix)> = groups
-        .iter()
-        .enumerate()
-        .flat_map(|(gi, (_, mixes))| {
-            (0..policies.len()).flat_map(move |pi| mixes.iter().map(move |m| (gi, pi, m)))
-        })
-        .collect();
-    let results = parallel::par_map(threads, &tasks, |_, &(_, pi, mix)| {
-        runner.run_mix(mix, policies[pi])
-    });
+    // This group → policy → mix order is the sweep's deterministic cell
+    // list: fault-plan indices and journal replay both refer to it.
+    let mut indices: Vec<(usize, usize)> = Vec::new();
+    let mut cells: Vec<SweepCell<'_>> = Vec::new();
+    for (gi, (_, mixes)) in groups.iter().enumerate() {
+        for (pi, &policy) in policies.iter().enumerate() {
+            for m in mixes {
+                indices.push((gi, pi));
+                cells.push(SweepCell {
+                    runner,
+                    mix: m.clone(),
+                    policy,
+                });
+            }
+        }
+    }
+    let report = run_cells(&cells, threads, session);
 
-    // Reassemble: tasks and results share indices, so grouping is
+    // Reassemble: cells and results share indices, so grouping is
     // deterministic regardless of which worker ran what.
-    let mut cells: Vec<Vec<Vec<MixResult>>> = vec![vec![Vec::new(); policies.len()]; groups.len()];
-    for (&(gi, pi, _), result) in tasks.iter().zip(results) {
-        cells[gi][pi].push(result);
+    let mut buckets: Vec<Vec<Vec<MixResult>>> =
+        vec![vec![Vec::new(); policies.len()]; groups.len()];
+    for (&(gi, pi), result) in indices.iter().zip(report.results) {
+        if let Some(r) = result {
+            buckets[gi][pi].push(r);
+        }
     }
     let matrix = groups
         .iter()
-        .zip(cells)
+        .zip(buckets)
         .map(|(&(g, _), per_policy)| {
             let summaries = per_policy
                 .iter()
-                .map(|results| runner.summarize(results))
+                .map(|results| {
+                    if results.is_empty() {
+                        GroupSummary::default()
+                    } else {
+                        runner.summarize(results)
+                    }
+                })
                 .collect();
             (g, summaries)
         })
         .collect();
-    eprintln!(
+    let mut line = format!(
         "sweep: {} simulations on {} threads in {:.1}s",
-        tasks.len(),
+        report.computed,
         parallel::resolve_threads(threads),
         started.elapsed().as_secs_f64()
     );
-    matrix
+    if report.replayed > 0 {
+        line.push_str(&format!(", {} replayed from journal", report.replayed));
+    }
+    if !report.failures.is_empty() {
+        line.push_str(&format!(", {} FAILED", report.failures.len()));
+    }
+    if let Some(store) = &session.store {
+        let s = store.stats();
+        if s.quarantined > 0 || s.append_failures > 0 {
+            line.push_str(&format!(
+                ", store: {} quarantined, {} append failure(s)",
+                s.quarantined, s.append_failures
+            ));
+        }
+    }
+    if runner.st_cache_rejections() > 0 {
+        line.push_str(&format!(
+            ", st-cache: {} stale record(s) rejected",
+            runner.st_cache_rejections()
+        ));
+    }
+    eprintln!("{line}");
+    (matrix, report.failures)
 }
 
 #[cfg(test)]
@@ -142,8 +371,9 @@ mod tests {
     fn matrix_shape_and_determinism() {
         let runner = tiny_runner();
         let policies = [PolicyKind::Icount];
-        let serial = policy_matrix(&runner, &policies, 1, 1);
-        let parallel = policy_matrix(&runner, &policies, 1, 2);
+        let (serial, f1) = policy_matrix(&runner, &policies, 1, 1, &SweepSession::none());
+        let (parallel, f2) = policy_matrix(&runner, &policies, 1, 2, &SweepSession::none());
+        assert!(f1.is_empty() && f2.is_empty());
         assert_eq!(serial.len(), ALL_GROUPS.len());
         for ((g1, s1), (g2, s2)) in serial.iter().zip(&parallel) {
             assert_eq!(g1, g2);
@@ -155,5 +385,31 @@ mod tests {
             );
             assert_eq!(s1[0].fairness.to_bits(), s2[0].fairness.to_bits());
         }
+    }
+
+    #[test]
+    fn injected_panic_fails_only_its_cell() {
+        let runner = tiny_runner();
+        let mixes = select_mixes(WorkloadGroup::Ilp2, 3);
+        let cells: Vec<SweepCell<'_>> = mixes
+            .iter()
+            .map(|m| SweepCell {
+                runner: &runner,
+                mix: m.clone(),
+                policy: PolicyKind::Icount,
+            })
+            .collect();
+        let session = SweepSession {
+            store: None,
+            fault_plan: Some(FaultPlan::parse("panic@1").unwrap()),
+        };
+        let report = run_cells(&cells, 2, &session);
+        assert_eq!(report.failures.len(), 1);
+        assert_eq!(report.failures[0].index, 1);
+        assert!(report.failures[0].identity.contains("ILP2"));
+        assert!(report.results[0].is_some() && report.results[2].is_some());
+        assert!(report.results[1].is_none());
+        assert_eq!(report_failures(&report.failures), 1);
+        assert_eq!(report_failures(&[]), 0);
     }
 }

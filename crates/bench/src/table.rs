@@ -16,6 +16,15 @@ impl TableWriter {
         }
     }
 
+    /// Creates a table from owned headers — for column sets built at
+    /// runtime, e.g. a `--policies`-filtered sweep.
+    pub fn from_headers(header: Vec<String>) -> Self {
+        TableWriter {
+            header,
+            rows: Vec::new(),
+        }
+    }
+
     /// Appends a row (must match the header arity).
     ///
     /// # Panics

@@ -21,6 +21,14 @@
 //! [`parallel::par_map`] distributes independent `(mix, policy, config)`
 //! cells over all cores with results in deterministic input order.
 //!
+//! The sweep machinery is crash-safe: workers are panic-isolated
+//! ([`parallel::par_map_isolated`] turns a panicking cell into a
+//! [`CellError`] instead of killing the sweep), completed cells persist
+//! to a journaled, checksummed [`store::ResultStore`] keyed by
+//! `(mix, policy, config, seed)` so interrupted sweeps resume
+//! bit-identically, and every recovery path is exercised by the
+//! deterministic [`faultinject`] harness rather than trusted.
+//!
 //! # Example
 //!
 //! ```no_run
@@ -36,12 +44,19 @@
 //! ```
 
 mod metrics;
+
+pub mod faultinject;
+pub mod lock;
 pub mod parallel;
 mod runner;
+pub mod store;
 
+pub use faultinject::{FaultPlan, RecordFault};
+pub use lock::{get_mut_recover, lock_recover};
 pub use metrics::{ed2, fairness_from_ipcs, throughput_from_ipcs};
-pub use parallel::{par_map, resolve_threads};
+pub use parallel::{par_map, par_map_isolated, resolve_threads, CellError};
 pub use runner::{GroupSummary, MixResult, RunConfig, Runner};
+pub use store::{atomic_write, CellKey, ResultStore, StoreStats};
 
 // Re-export the layers so downstream users need a single dependency.
 pub use rat_bpred as bpred;

@@ -1,0 +1,63 @@
+//! Poison-recovering mutex helpers.
+//!
+//! A panicking sweep worker (real bug or injected fault) poisons every
+//! `std::sync::Mutex` it holds — and with `.lock().unwrap()` the poison
+//! *cascades*: the next healthy worker that touches the shared ST-IPC
+//! cache or warning sink panics too, and one bad cell takes down the
+//! whole sweep. Every shared structure the sweep touches is a plain
+//! value store (a `HashMap` of finished IPCs, a `Vec` of warning lines):
+//! a panic mid-update cannot leave it logically torn, so the right
+//! policy is to strip the poison flag and keep going. These helpers are
+//! the one place that policy lives.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Locks `m`, recovering (rather than panicking) if a previous holder
+/// panicked. Use for shared state whose invariants hold between any two
+/// complete updates — i.e. plain value stores, not multi-step
+/// transactions.
+pub fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// `Mutex::get_mut` with the same poison-stripping policy as
+/// [`lock_recover`].
+pub fn get_mut_recover<T>(m: &mut Mutex<T>) -> &mut T {
+    m.get_mut().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_after_holder_panics() {
+        let m = Mutex::new(vec![1, 2, 3]);
+        std::thread::scope(|s| {
+            let _ = s
+                .spawn(|| {
+                    let _guard = m.lock().unwrap();
+                    panic!("poison the lock");
+                })
+                .join();
+        });
+        assert!(m.is_poisoned(), "the panicking holder must poison");
+        lock_recover(&m).push(4);
+        assert_eq!(*lock_recover(&m), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn get_mut_recovers_too() {
+        let mut m = Mutex::new(0u32);
+        std::thread::scope(|s| {
+            let _ = s
+                .spawn(|| {
+                    let _guard = m.lock().unwrap();
+                    panic!("poison");
+                })
+                .join();
+        });
+        *get_mut_recover(&mut m) = 7;
+        assert_eq!(*lock_recover(&m), 7);
+    }
+}

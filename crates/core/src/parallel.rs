@@ -7,7 +7,36 @@
 //! order — so a sweep's output is bit-identical no matter how many
 //! threads run it, including one.
 
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A sweep cell whose worker panicked: the cell index plus the panic
+/// payload, carried in the result lattice instead of torn down the
+/// whole sweep (see [`par_map_isolated`]).
+#[derive(Clone, Debug)]
+pub struct CellError {
+    /// Index of the failed item in the input slice.
+    pub index: usize,
+    /// The panic message (`"non-string panic payload"` when the payload
+    /// was not a string).
+    pub message: String,
+}
+
+impl std::fmt::Display for CellError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cell {} panicked: {}", self.index, self.message)
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Resolves a requested worker count: `0` means all available cores.
 pub fn resolve_threads(requested: usize) -> usize {
@@ -78,6 +107,29 @@ where
         .collect()
 }
 
+/// [`par_map`] with panic isolation: a panic in `f` is caught on the
+/// worker, converted into a [`CellError`], and returned in that item's
+/// slot — every other item still completes, on this worker and all
+/// others. This is the crash-safe sweep entry point: one bad cell must
+/// not cost the sweep the healthy ones.
+///
+/// `f` runs under [`std::panic::catch_unwind`]; shared state it touches
+/// must therefore tolerate a panic between any two complete updates
+/// (the `Runner`'s shared caches do — see [`crate::lock`]).
+pub fn par_map_isolated<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<Result<R, CellError>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map(threads, items, |i, t| {
+        std::panic::catch_unwind(AssertUnwindSafe(|| f(i, t))).map_err(|payload| CellError {
+            index: i,
+            message: panic_message(payload),
+        })
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -115,6 +167,48 @@ mod tests {
         let items = ["a", "b", "c"];
         let out = par_map(2, &items, |i, s| format!("{i}{s}"));
         assert_eq!(out, vec!["0a", "1b", "2c"]);
+    }
+
+    #[test]
+    fn isolated_panics_fail_only_their_cell() {
+        let items: Vec<u64> = (0..20).collect();
+        let out = par_map_isolated(4, &items, |_, &x| {
+            if x % 7 == 3 {
+                panic!("boom at {x}");
+            }
+            x * 2
+        });
+        assert_eq!(out.len(), 20);
+        for (i, r) in out.iter().enumerate() {
+            if i % 7 == 3 {
+                let e = r.as_ref().unwrap_err();
+                assert_eq!(e.index, i);
+                assert_eq!(e.message, format!("boom at {i}"));
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), i as u64 * 2);
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_serial_and_parallel_agree() {
+        let items: Vec<u64> = (0..23).collect();
+        let run = |threads| {
+            par_map_isolated(threads, &items, |_, &x| {
+                if x == 5 {
+                    panic!("five");
+                }
+                x + 1
+            })
+        };
+        let (serial, parallel) = (run(1), run(4));
+        for (a, b) in serial.iter().zip(&parallel) {
+            match (a, b) {
+                (Ok(x), Ok(y)) => assert_eq!(x, y),
+                (Err(x), Err(y)) => assert_eq!((x.index, &x.message), (y.index, &y.message)),
+                _ => panic!("serial/parallel outcome mismatch"),
+            }
+        }
     }
 
     #[test]

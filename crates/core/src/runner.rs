@@ -8,6 +8,8 @@ use rat_mem::MemEventStats;
 use rat_smt::{PolicyKind, SmtConfig, SmtSimulator, ThreadStats};
 use rat_workload::{Benchmark, Mix, ThreadImage};
 
+use crate::lock::{get_mut_recover, lock_recover};
+use crate::store::{atomic_write, fnv1a};
 use crate::{metrics, parallel};
 
 /// Measurement methodology parameters (instruction quotas, cycle bounds).
@@ -138,6 +140,10 @@ pub struct Runner {
     /// never interleaved. `Some` captures instead of printing (see
     /// [`Runner::capture_warnings`]).
     warnings: Mutex<Option<Vec<String>>>,
+    /// Persistent-cache records rejected at load (fingerprint mismatch
+    /// or corruption) instead of being silently served; see
+    /// [`Runner::st_cache_rejections`].
+    st_cache_rejected: u64,
 }
 
 impl Runner {
@@ -149,6 +155,7 @@ impl Runner {
             st_cache: Mutex::new(HashMap::new()),
             st_cache_path: None,
             warnings: Mutex::new(None),
+            st_cache_rejected: 0,
         }
     }
 
@@ -156,15 +163,13 @@ impl Runner {
     /// retrieve (and clear) it with [`Runner::take_warnings`]. Used by
     /// tests and by front ends that render warnings themselves.
     pub fn capture_warnings(&mut self) {
-        *self.warnings.get_mut().expect("warning lock poisoned") = Some(Vec::new());
+        *get_mut_recover(&mut self.warnings) = Some(Vec::new());
     }
 
     /// Drains the captured warnings (empty if capturing is off or
     /// nothing warned).
     pub fn take_warnings(&self) -> Vec<String> {
-        self.warnings
-            .lock()
-            .expect("warning lock poisoned")
+        lock_recover(&self.warnings)
             .as_mut()
             .map(std::mem::take)
             .unwrap_or_default()
@@ -172,9 +177,11 @@ impl Runner {
 
     /// Emits one warning line atomically: captured if capturing is on,
     /// otherwise written to stderr while holding the lock so concurrent
-    /// workers' warnings never interleave.
+    /// workers' warnings never interleave. The lock recovers from
+    /// poisoning: a panicking (fault-injected or buggy) worker must not
+    /// cost the healthy cells their warning channel.
     fn warn(&self, msg: String) {
-        let mut sink = self.warnings.lock().expect("warning lock poisoned");
+        let mut sink = lock_recover(&self.warnings);
         match &mut *sink {
             Some(buf) => buf.push(msg),
             None => eprintln!("{msg}"),
@@ -193,18 +200,36 @@ impl Runner {
     pub fn set_st_cache_path(&mut self, path: impl Into<PathBuf>) {
         let path = path.into();
         let loaded = load_st_cache(&path, self.st_fingerprint());
-        if !loaded.is_empty() {
+        if loaded.rejected > 0 {
+            self.st_cache_rejected += loaded.rejected as u64;
+            let reason = if loaded.stale {
+                "written for a different hardware/methodology configuration"
+            } else {
+                "malformed or corrupt"
+            };
+            self.warn(format!(
+                "warning: st-cache: rejected {} record(s) in {} ({reason}); \
+                 they will be recomputed, not served stale",
+                loaded.rejected,
+                path.display()
+            ));
+        }
+        if !loaded.entries.is_empty() {
             eprintln!(
                 "st-cache: loaded {} reference IPC(s) from {}",
-                loaded.len(),
+                loaded.entries.len(),
                 path.display()
             );
         }
-        self.st_cache
-            .get_mut()
-            .expect("cache lock poisoned")
-            .extend(loaded);
+        get_mut_recover(&mut self.st_cache).extend(loaded.entries);
         self.st_cache_path = Some(path);
+    }
+
+    /// Number of persistent ST-cache records rejected at load instead of
+    /// being silently served (stale fingerprint or corruption). Sweep
+    /// front ends surface this in their run summary.
+    pub fn st_cache_rejections(&self) -> u64 {
+        self.st_cache_rejected
     }
 
     /// Fingerprint of everything a cached ST-reference IPC depends on:
@@ -219,18 +244,34 @@ impl Runner {
             "{cfg:?}/insts={}/warmup={}/max_cycles={}",
             self.run.insts_per_thread, self.run.warmup_insts, self.run.max_cycles
         );
-        // FNV-1a, enough to discriminate configurations.
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for b in repr.bytes() {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        h
+        fnv1a(repr.as_bytes())
+    }
+
+    /// Fingerprint of everything a multithreaded cell result depends on
+    /// besides its `(mix, policy, seed)` identity: the hardware
+    /// configuration (policy pinned — the cell's policy is a separate
+    /// [`crate::store::CellKey`] component) and the measurement
+    /// methodology. Differs from the ST fingerprint in covering the
+    /// drain ablation, which changes multithreaded (but not
+    /// single-thread) timing; the bit-identical `no_skip`/`no_replay`
+    /// ablations stay excluded.
+    pub fn config_fingerprint(&self) -> u64 {
+        let mut cfg = self.smt;
+        cfg.policy = PolicyKind::Icount;
+        let repr = format!(
+            "{cfg:?}/insts={}/warmup={}/max_cycles={}/drain={}",
+            self.run.insts_per_thread,
+            self.run.warmup_insts,
+            self.run.max_cycles,
+            !self.run.no_drain
+        );
+        fnv1a(repr.as_bytes())
     }
 
     /// Rewrites the persistent cache file from the in-memory map. Call
     /// with the cache lock held (entries passed in) to keep file and map
-    /// consistent.
+    /// consistent. The write is atomic (tmp file + rename) so a kill
+    /// mid-save can never leave a torn cache file behind.
     fn save_st_cache(&self, entries: &HashMap<(Benchmark, u64), f64>) {
         let Some(path) = &self.st_cache_path else {
             return;
@@ -245,7 +286,7 @@ impl Runner {
             self.st_fingerprint(),
             lines.join("\n")
         );
-        if let Err(e) = std::fs::write(path, body) {
+        if let Err(e) = atomic_write(path, body.as_bytes()) {
             eprintln!("st-cache: failed to write {}: {e}", path.display());
         }
     }
@@ -258,10 +299,7 @@ impl Runner {
     /// Mutable access (e.g. for the Figure 6 register-file sweep). Clears
     /// the ST cache since references depend on the hardware.
     pub fn smt_config_mut(&mut self) -> &mut SmtConfig {
-        self.st_cache
-            .get_mut()
-            .expect("cache lock poisoned")
-            .clear();
+        get_mut_recover(&mut self.st_cache).clear();
         &mut self.smt
     }
 
@@ -323,7 +361,7 @@ impl Runner {
     /// (ICOUNT policy), cached across calls.
     pub fn single_thread_ipc(&self, bench: Benchmark) -> f64 {
         let key = (bench, self.run.seed);
-        if let Some(&ipc) = self.st_cache.lock().expect("cache lock poisoned").get(&key) {
+        if let Some(&ipc) = lock_recover(&self.st_cache).get(&key) {
             return ipc;
         }
         // Simulate outside the lock: concurrent callers may duplicate a
@@ -334,7 +372,7 @@ impl Runner {
         sim.reset_stats();
         sim.run_until_quota(self.run.insts_per_thread, self.run.max_cycles);
         let ipc = sim.stats().thread_ipc(0);
-        let cache = &mut *self.st_cache.lock().expect("cache lock poisoned");
+        let cache = &mut *lock_recover(&self.st_cache);
         cache.insert(key, ipc);
         self.save_st_cache(cache);
         ipc
@@ -403,12 +441,26 @@ impl Runner {
     }
 }
 
+/// What [`load_st_cache`] found at a persistent-cache path.
+#[derive(Default)]
+struct StCacheLoad {
+    /// Entries whose fingerprint matched and whose line parsed.
+    entries: HashMap<(Benchmark, u64), f64>,
+    /// Records rejected instead of silently served: every entry line
+    /// that did not make it into `entries`.
+    rejected: usize,
+    /// Whether rejections came from a fingerprint mismatch (a stale
+    /// file for a different configuration) rather than corruption.
+    stale: bool,
+}
+
 /// Parses a persistent ST-cache file, keeping entries only when the
-/// file's fingerprint matches `fingerprint` (a stale file — different
-/// hardware or methodology — yields an empty map). Malformed lines are
-/// skipped.
-fn load_st_cache(path: &Path, fingerprint: u64) -> HashMap<(Benchmark, u64), f64> {
-    let mut out = HashMap::new();
+/// file's fingerprint matches `fingerprint`. Nothing untrusted is ever
+/// served: records under a mismatched (or missing) fingerprint and
+/// malformed lines are counted as rejected so the caller can warn and
+/// surface the count in its run summary.
+fn load_st_cache(path: &Path, fingerprint: u64) -> StCacheLoad {
+    let mut out = StCacheLoad::default();
     let Ok(body) = std::fs::read_to_string(path) else {
         return out;
     };
@@ -421,22 +473,21 @@ fn load_st_cache(path: &Path, fingerprint: u64) -> HashMap<(Benchmark, u64), f64
         if let Some(hex) = line.strip_prefix("fingerprint ") {
             fingerprint_ok = u64::from_str_radix(hex.trim(), 16) == Ok(fingerprint);
             if !fingerprint_ok {
-                eprintln!(
-                    "st-cache: {} was written for a different configuration; ignoring it",
-                    path.display()
-                );
-                return HashMap::new();
+                out.stale = true;
             }
             continue;
         }
         if !fingerprint_ok {
-            // Entries before (or without) a matching fingerprint line are
-            // untrusted.
+            // Entries before (or without) a matching fingerprint line
+            // are untrusted — likely a stale file for other hardware or
+            // methodology. Count, never serve.
+            out.rejected += 1;
             continue;
         }
         let mut parts = line.split_whitespace();
         let (Some(bench), Some(seed), Some(bits)) = (parts.next(), parts.next(), parts.next())
         else {
+            out.rejected += 1;
             continue;
         };
         let (Some(bench), Ok(seed), Ok(bits)) = (
@@ -444,9 +495,10 @@ fn load_st_cache(path: &Path, fingerprint: u64) -> HashMap<(Benchmark, u64), f64
             seed.parse::<u64>(),
             u64::from_str_radix(bits, 16),
         ) else {
+            out.rejected += 1;
             continue;
         };
-        out.insert((bench, seed), f64::from_bits(bits));
+        out.entries.insert((bench, seed), f64::from_bits(bits));
     }
     out
 }
@@ -562,9 +614,73 @@ mod tests {
             std::env::temp_dir().join(format!("rat_st_cache_garbage_{}.txt", std::process::id()));
         std::fs::write(&path, "not a cache\nfingerprint zzz\ngzip nan nan\n").unwrap();
         let mut r = Runner::new(SmtConfig::hpca2008_baseline(), quick());
+        r.capture_warnings();
         r.set_st_cache_path(&path);
         assert!(r.st_cache.lock().unwrap().is_empty());
+        assert_eq!(
+            r.st_cache_rejections(),
+            2,
+            "both entry lines must be counted as rejected"
+        );
+        let warnings = r.take_warnings();
+        assert_eq!(warnings.len(), 1);
+        assert!(
+            warnings[0].contains("rejected 2 record(s)"),
+            "rejection must warn, not be silent: {warnings:?}"
+        );
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn stale_st_cache_warns_and_counts_instead_of_silently_serving() {
+        let path =
+            std::env::temp_dir().join(format!("rat_st_cache_stale_{}.txt", std::process::id()));
+        // Write a valid cache on one hardware configuration…
+        let mut writer = Runner::new(SmtConfig::hpca2008_baseline(), quick());
+        writer.set_st_cache_path(&path);
+        let _ = writer.single_thread_ipc(Benchmark::Gzip);
+        // …then load it on different hardware: the fingerprint
+        // mismatches, so the record must be rejected with a warning and
+        // a counter bump, never used.
+        let mut cfg = SmtConfig::hpca2008_baseline();
+        cfg.int_regs = 256;
+        let mut reader = Runner::new(cfg, quick());
+        reader.capture_warnings();
+        reader.set_st_cache_path(&path);
+        assert!(reader.st_cache.lock().unwrap().is_empty());
+        assert_eq!(reader.st_cache_rejections(), 1);
+        let warnings = reader.take_warnings();
+        assert_eq!(warnings.len(), 1);
+        assert!(
+            warnings[0].contains("different hardware/methodology"),
+            "stale-file rejections must say why: {warnings:?}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn poisoned_shared_locks_recover() {
+        // A worker panicking while holding the Runner's shared locks
+        // (the cascade the crash-safety layer exists to stop) must not
+        // break later healthy calls.
+        let mut runner = Runner::new(SmtConfig::hpca2008_baseline(), quick());
+        runner.capture_warnings();
+        std::thread::scope(|s| {
+            let r = &runner;
+            let _ = s
+                .spawn(move || {
+                    let _cache = r.st_cache.lock().unwrap();
+                    let _sink = r.warnings.lock().unwrap();
+                    panic!("worker dies holding both locks");
+                })
+                .join();
+        });
+        assert!(runner.st_cache.is_poisoned());
+        assert!(runner.warnings.is_poisoned());
+        let ipc = runner.single_thread_ipc(Benchmark::Gzip);
+        assert!(ipc > 0.0, "cache path must survive poisoning");
+        runner.warn("still alive".to_string());
+        assert_eq!(runner.take_warnings(), vec!["still alive".to_string()]);
     }
 
     #[test]

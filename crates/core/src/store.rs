@@ -1,0 +1,754 @@
+//! Journaled, content-addressed store of completed [`MixResult`]s.
+//!
+//! Every sweep cell is a deterministic function of
+//! `(mix, policy, hardware+methodology config, seed)`; the store keys
+//! each completed result by exactly that identity ([`CellKey`]) and
+//! persists it the moment the cell finishes, so a killed sweep resumed
+//! with `--resume PATH` replays the journal and recomputes only the
+//! missing cells — with output bit-identical to an uninterrupted run
+//! (IPCs round-trip as `f64::to_bits`, never through decimal text).
+//!
+//! # Durability model
+//!
+//! The journal is a line-oriented append-only file. Each record is one
+//! self-contained line carrying its own FNV-1a checksum, appended with a
+//! single `write_all`; whole-file rewrites (creation, and compaction
+//! after quarantining corruption) go through a tmp-file + atomic rename
+//! ([`atomic_write`]). On load, any line that fails to parse or
+//! checksum — a torn tail from a kill mid-append, a flipped bit, a
+//! truncated record — is **quarantined**: counted, appended verbatim to
+//! `<path>.quarantine` for post-mortem, and dropped from the journal,
+//! so the owning cell is simply recomputed. Corruption is never
+//! silently served and never aborts the sweep.
+//!
+//! Append failures (e.g. a full disk, or an injected `enospc` fault
+//! from [`crate::faultinject::FaultPlan`]) are non-fatal too: the cell's
+//! result stays in memory for the current run and is recomputed on the
+//! next resume.
+//!
+//! The store is internally synchronized (poison-recovering mutex), so
+//! concurrent `par_map` workers can `put` as they finish. It is not
+//! designed for two *processes* appending to one journal concurrently.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use rat_smt::{PolicyKind, ThreadStats};
+use rat_workload::{Benchmark, Mix, WorkloadGroup};
+
+use crate::faultinject::{FaultPlan, RecordFault};
+use crate::lock::{get_mut_recover, lock_recover};
+use crate::runner::MixResult;
+
+/// First line of every journal file; bump the version when the record
+/// word layout changes so old journals are recomputed, not misread.
+const MAGIC: &str = "ratstore v1";
+
+/// FNV-1a, the repo's standard content fingerprint.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Writes `bytes` to `path` atomically: a unique tmp file in the same
+/// directory, then `rename` — readers see the old contents or the new,
+/// never a partial write.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    std::fs::write(&tmp, bytes)?;
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+/// The content address of one sweep cell: everything its `MixResult`
+/// is a deterministic function of.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CellKey {
+    /// Fingerprint of the hardware configuration and measurement
+    /// methodology (see [`crate::Runner::config_fingerprint`]).
+    pub fingerprint: u64,
+    /// Workload group name (e.g. `"MIX4"`).
+    pub group: String,
+    /// `+`-joined benchmark names (e.g. `"art+mcf"`).
+    pub mix: String,
+    /// Fetch/resource policy name (e.g. `"RaT"`).
+    pub policy: String,
+    /// Base workload RNG seed.
+    pub seed: u64,
+}
+
+impl CellKey {
+    /// The key of `mix` under `policy` on the config behind
+    /// `fingerprint` with workload `seed`.
+    pub fn new(fingerprint: u64, mix: &Mix, policy: PolicyKind, seed: u64) -> CellKey {
+        CellKey {
+            fingerprint,
+            group: mix.group.name().to_string(),
+            mix: mix.label(),
+            policy: policy.name().to_string(),
+            seed,
+        }
+    }
+
+    /// Human-readable cell identity for failure reports and logs.
+    pub fn identity(&self) -> String {
+        format!(
+            "{}({}) under {} [seed {}, cfg {:016x}]",
+            self.group, self.mix, self.policy, self.seed, self.fingerprint
+        )
+    }
+
+    /// Rebuilds the [`Mix`] this key names (`None` if the group or a
+    /// benchmark name does not parse — a corrupt or foreign record).
+    fn to_mix(&self) -> Option<Mix> {
+        let group = WorkloadGroup::from_name(&self.group)?;
+        let benchmarks: Option<Vec<Benchmark>> =
+            self.mix.split('+').map(Benchmark::from_name).collect();
+        let benchmarks = benchmarks?;
+        if benchmarks.is_empty() {
+            return None;
+        }
+        Some(Mix { group, benchmarks })
+    }
+}
+
+/// Counters describing one store's history this process run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StoreStats {
+    /// Valid records loaded from the journal at open.
+    pub loaded: usize,
+    /// Corrupt/torn/unparseable records quarantined at open.
+    pub quarantined: usize,
+    /// `get` calls that found a record (journal replays).
+    pub hits: u64,
+    /// Records appended (durably) this run.
+    pub appended: u64,
+    /// Appends that failed (I/O error or injected `enospc`); the result
+    /// was kept in memory but will be recomputed on the next resume.
+    pub append_failures: u64,
+}
+
+struct StoreInner {
+    records: HashMap<CellKey, Vec<u64>>,
+    stats: StoreStats,
+    /// Appends attempted so far (indexes the fault plan).
+    append_attempts: u64,
+    fault: Option<FaultPlan>,
+}
+
+/// See the module docs.
+pub struct ResultStore {
+    path: PathBuf,
+    inner: Mutex<StoreInner>,
+}
+
+impl ResultStore {
+    /// Opens (or creates) the journal at `path`, loading every valid
+    /// record and quarantining corrupt ones. I/O errors are non-fatal:
+    /// an unreadable file behaves like an empty store.
+    pub fn open(path: impl Into<PathBuf>) -> ResultStore {
+        let path = path.into();
+        let mut records = HashMap::new();
+        let mut stats = StoreStats::default();
+        let mut bad_lines: Vec<String> = Vec::new();
+
+        match std::fs::read_to_string(&path) {
+            Ok(body) => {
+                let mut lines = body.lines();
+                let header_ok = lines.next().map(str::trim) == Some(MAGIC);
+                if !header_ok {
+                    // Unknown layout: quarantine everything, start fresh.
+                    bad_lines.extend(body.lines().map(str::to_string));
+                } else {
+                    for line in lines {
+                        let line = line.trim();
+                        if line.is_empty() || line.starts_with('#') {
+                            continue;
+                        }
+                        match parse_record(line) {
+                            Some((key, words)) => {
+                                records.insert(key, words);
+                                stats.loaded += 1;
+                            }
+                            None => bad_lines.push(line.to_string()),
+                        }
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => eprintln!("result-store: cannot read {}: {e}", path.display()),
+        }
+
+        stats.quarantined = bad_lines.len();
+        if !bad_lines.is_empty() {
+            let qpath = quarantine_path(&path);
+            let mut q = bad_lines.join("\n");
+            q.push('\n');
+            if let Err(e) = append_bytes(&qpath, q.as_bytes()) {
+                eprintln!(
+                    "result-store: cannot quarantine {} corrupt record(s) to {}: {e}",
+                    bad_lines.len(),
+                    qpath.display()
+                );
+            }
+        }
+
+        let store = ResultStore {
+            path,
+            inner: Mutex::new(StoreInner {
+                records,
+                stats,
+                append_attempts: 0,
+                fault: None,
+            }),
+        };
+        // Compact: drop quarantined lines from the live journal (atomic
+        // rewrite), or create the file with its header on first open.
+        store.rewrite_journal();
+        store
+    }
+
+    /// Installs a fault plan whose record faults apply to subsequent
+    /// appends (see [`FaultPlan::record_fault`]).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        get_mut_recover(&mut self.inner).fault = Some(plan);
+    }
+
+    /// The journal path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Where corrupt records are preserved for post-mortem.
+    pub fn quarantine_path(&self) -> PathBuf {
+        quarantine_path(&self.path)
+    }
+
+    /// Counters (snapshot).
+    pub fn stats(&self) -> StoreStats {
+        lock_recover(&self.inner).stats
+    }
+
+    /// Number of records currently held (loaded + appended this run).
+    pub fn len(&self) -> usize {
+        lock_recover(&self.inner).records.len()
+    }
+
+    /// Whether the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Replays the stored result for `key`, if any. Decoding is
+    /// defensive: a record that no longer decodes (e.g. schema drift
+    /// that slipped past the version header) counts as a miss.
+    pub fn get(&self, key: &CellKey) -> Option<MixResult> {
+        let mut inner = lock_recover(&self.inner);
+        let words = inner.records.get(key)?.clone();
+        let result = decode_result(&words, key)?;
+        inner.stats.hits += 1;
+        Some(result)
+    }
+
+    /// Persists `result` under `key`: one checksummed record appended to
+    /// the journal. Returns `false` (after counting the failure) if the
+    /// append did not reach the disk — the caller's sweep continues
+    /// either way.
+    pub fn put(&self, key: &CellKey, result: &MixResult) -> bool {
+        let words = encode_result(result);
+        let line = format_record(key, &words);
+        let mut inner = lock_recover(&self.inner);
+        let attempt = inner.append_attempts;
+        inner.append_attempts += 1;
+        let fault = inner.fault.as_ref().and_then(|p| p.record_fault(attempt));
+        // The in-memory copy is installed regardless: within this run
+        // the result is valid even if the disk copy is not.
+        inner.records.insert(key.clone(), words);
+
+        let payload: Vec<u8> = match fault {
+            None => line.into_bytes(),
+            Some(RecordFault::Enospc) => {
+                inner.stats.append_failures += 1;
+                eprintln!(
+                    "result-store: injected ENOSPC on append {attempt} ({})",
+                    key.identity()
+                );
+                return false;
+            }
+            Some(RecordFault::Torn) => {
+                // A kill mid-append: only a prefix of the line lands.
+                let cut = line.len() * 3 / 5;
+                let mut torn = line.into_bytes();
+                torn.truncate(cut);
+                torn.push(b'\n');
+                torn
+            }
+            Some(RecordFault::BitFlip) => {
+                // Silent media corruption inside the checksummed region.
+                let mut flipped = line.into_bytes();
+                let target = flipped.len() / 2;
+                flipped[target] ^= 0x01;
+                flipped
+            }
+        };
+        match append_bytes(&self.path, &payload) {
+            Ok(()) => {
+                inner.stats.appended += 1;
+                true
+            }
+            Err(e) => {
+                inner.stats.append_failures += 1;
+                eprintln!(
+                    "result-store: append to {} failed ({e}); {} will be recomputed on resume",
+                    self.path.display(),
+                    key.identity()
+                );
+                false
+            }
+        }
+    }
+
+    /// Atomically rewrites the journal from the in-memory records
+    /// (deterministic order): used at open to compact quarantined lines
+    /// away, and available to callers as an explicit fsck.
+    pub fn rewrite_journal(&self) {
+        let inner = lock_recover(&self.inner);
+        let mut lines: Vec<String> = inner
+            .records
+            .iter()
+            .map(|(k, w)| format_record_line(k, w))
+            .collect();
+        lines.sort();
+        let mut body = String::with_capacity(lines.iter().map(|l| l.len() + 1).sum::<usize>() + 64);
+        body.push_str(MAGIC);
+        body.push('\n');
+        for l in &lines {
+            body.push_str(l);
+            body.push('\n');
+        }
+        if let Err(e) = atomic_write(&self.path, body.as_bytes()) {
+            eprintln!("result-store: cannot rewrite {}: {e}", self.path.display());
+        }
+    }
+}
+
+fn quarantine_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".quarantine");
+    PathBuf::from(os)
+}
+
+fn append_bytes(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    f.write_all(bytes)?;
+    f.flush()
+}
+
+// ---------------------------------------------------------------------------
+// Record wire format
+//
+// One line per record:
+//
+//   rec <fp:016x> <group> <mix> <policy> <seed> <n> <w0> <w1> ... crc <c:016x>
+//
+// where every word is 16 lowercase hex digits and the checksum is
+// FNV-1a over the canonical body (everything before " crc"). `f64`s
+// travel as `to_bits` words, so replays are bit-exact.
+
+fn format_record_line(key: &CellKey, words: &[u64]) -> String {
+    let mut body = format!(
+        "rec {:016x} {} {} {} {} {}",
+        key.fingerprint,
+        key.group,
+        key.mix,
+        key.policy,
+        key.seed,
+        words.len()
+    );
+    for w in words {
+        body.push_str(&format!(" {w:016x}"));
+    }
+    let crc = fnv1a(body.as_bytes());
+    format!("{body} crc {crc:016x}")
+}
+
+fn format_record(key: &CellKey, words: &[u64]) -> String {
+    let mut line = format_record_line(key, words);
+    line.push('\n');
+    line
+}
+
+/// Parses one journal line into its key and payload words; `None` on any
+/// structural or checksum failure (the caller quarantines).
+fn parse_record(line: &str) -> Option<(CellKey, Vec<u64>)> {
+    let (body, crc_part) = line.rsplit_once(" crc ")?;
+    let crc = u64::from_str_radix(crc_part.trim(), 16).ok()?;
+    if fnv1a(body.as_bytes()) != crc {
+        return None;
+    }
+    let mut t = body.split_whitespace();
+    if t.next()? != "rec" {
+        return None;
+    }
+    let fingerprint = u64::from_str_radix(t.next()?, 16).ok()?;
+    let group = t.next()?.to_string();
+    let mix = t.next()?.to_string();
+    let policy = t.next()?.to_string();
+    let seed: u64 = t.next()?.parse().ok()?;
+    let n: usize = t.next()?.parse().ok()?;
+    let words: Vec<u64> = t
+        .map(|w| u64::from_str_radix(w, 16))
+        .collect::<Result<_, _>>()
+        .ok()?;
+    if words.len() != n {
+        return None;
+    }
+    Some((
+        CellKey {
+            fingerprint,
+            group,
+            mix,
+            policy,
+            seed,
+        },
+        words,
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// MixResult <-> word-stream codec
+
+struct Reader<'a> {
+    words: &'a [u64],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn u64(&mut self) -> Option<u64> {
+        let w = *self.words.get(self.pos)?;
+        self.pos += 1;
+        Some(w)
+    }
+
+    fn f64(&mut self) -> Option<f64> {
+        self.u64().map(f64::from_bits)
+    }
+
+    fn usize(&mut self) -> Option<usize> {
+        self.u64().map(|w| w as usize)
+    }
+
+    fn bool(&mut self) -> Option<bool> {
+        match self.u64()? {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
+    }
+}
+
+fn push_thread_stats(w: &mut Vec<u64>, t: &ThreadStats) {
+    w.extend_from_slice(&[
+        t.committed,
+        t.fetched,
+        t.dispatched,
+        t.issued,
+        t.folded,
+        t.pseudo_retired,
+        t.runahead_episodes,
+        t.runahead_cycles,
+        t.runahead_prefetches,
+        t.runahead_inv_loads,
+        t.runahead_divergences,
+        t.flushes,
+        t.squashed,
+        t.bpred.predictions,
+        t.bpred.mispredictions,
+        t.mode_cycles[0],
+        t.mode_cycles[1],
+        t.int_reg_cycles[0],
+        t.int_reg_cycles[1],
+        t.fp_reg_cycles[0],
+        t.fp_reg_cycles[1],
+        t.rob_occ_cycles,
+        t.iq_occ_cycles[0],
+        t.iq_occ_cycles[1],
+        t.iq_occ_cycles[2],
+        u64::from(t.quota_cycle.is_some()),
+        t.quota_cycle.unwrap_or(0),
+        t.committed_at_quota,
+        t.committed_at_reset,
+        t.dmiss_loads,
+        t.l2_miss_loads,
+        t.forwarded_loads,
+        t.mem_stall_cycles,
+    ]);
+}
+
+fn read_thread_stats(r: &mut Reader) -> Option<ThreadStats> {
+    let mut t = ThreadStats {
+        committed: r.u64()?,
+        fetched: r.u64()?,
+        dispatched: r.u64()?,
+        issued: r.u64()?,
+        folded: r.u64()?,
+        pseudo_retired: r.u64()?,
+        runahead_episodes: r.u64()?,
+        runahead_cycles: r.u64()?,
+        runahead_prefetches: r.u64()?,
+        runahead_inv_loads: r.u64()?,
+        runahead_divergences: r.u64()?,
+        flushes: r.u64()?,
+        squashed: r.u64()?,
+        ..ThreadStats::default()
+    };
+    t.bpred.predictions = r.u64()?;
+    t.bpred.mispredictions = r.u64()?;
+    t.mode_cycles = [r.u64()?, r.u64()?];
+    t.int_reg_cycles = [r.u64()?, r.u64()?];
+    t.fp_reg_cycles = [r.u64()?, r.u64()?];
+    t.rob_occ_cycles = r.u64()?;
+    t.iq_occ_cycles = [r.u64()?, r.u64()?, r.u64()?];
+    let has_quota = r.bool()?;
+    let quota = r.u64()?;
+    t.quota_cycle = has_quota.then_some(quota);
+    t.committed_at_quota = r.u64()?;
+    t.committed_at_reset = r.u64()?;
+    t.dmiss_loads = r.u64()?;
+    t.l2_miss_loads = r.u64()?;
+    t.forwarded_loads = r.u64()?;
+    t.mem_stall_cycles = r.u64()?;
+    Some(t)
+}
+
+/// Serializes everything a [`MixResult`] carries except the mix/policy
+/// identity (which lives in the [`CellKey`]) into a flat word stream.
+pub fn encode_result(r: &MixResult) -> Vec<u64> {
+    let mut w = Vec::with_capacity(8 + 34 * (r.thread_stats.len() * 2 + 1));
+    w.push(r.ipcs.len() as u64);
+    w.extend(r.ipcs.iter().map(|v| v.to_bits()));
+    w.push(r.executed_insts);
+    w.push(r.cycles);
+    w.push(u64::from(r.complete));
+    w.push(r.thread_stats.len() as u64);
+    for t in &r.thread_stats {
+        push_thread_stats(&mut w, t);
+    }
+    w.push(r.thread_stats_at_quota.len() as u64);
+    for t in &r.thread_stats_at_quota {
+        match t {
+            Some(t) => {
+                w.push(1);
+                push_thread_stats(&mut w, t);
+            }
+            None => w.push(0),
+        }
+    }
+    let m = &r.mem_events;
+    w.extend_from_slice(&[
+        m.port_conflicts,
+        m.port_wait_cycles,
+        m.bus_transfers,
+        m.bus_busy_cycles,
+        m.bus_wait_cycles,
+        m.completed_transfers,
+    ]);
+    w
+}
+
+/// Rebuilds a [`MixResult`] from [`encode_result`]'s word stream plus
+/// the identity in `key`. `None` if the stream is malformed or the key
+/// names an unknown group/benchmark/policy.
+pub fn decode_result(words: &[u64], key: &CellKey) -> Option<MixResult> {
+    let mix = key.to_mix()?;
+    let policy = PolicyKind::from_name(&key.policy)?;
+    let mut r = Reader { words, pos: 0 };
+    let n_ipcs = r.usize()?;
+    if n_ipcs > 64 {
+        return None; // defensive bound; real mixes have ≤ 4 threads
+    }
+    let ipcs: Option<Vec<f64>> = (0..n_ipcs).map(|_| r.f64()).collect();
+    let ipcs = ipcs?;
+    let executed_insts = r.u64()?;
+    let cycles = r.u64()?;
+    let complete = r.bool()?;
+    let n_threads = r.usize()?;
+    if n_threads > 64 {
+        return None;
+    }
+    let thread_stats: Option<Vec<ThreadStats>> =
+        (0..n_threads).map(|_| read_thread_stats(&mut r)).collect();
+    let thread_stats = thread_stats?;
+    let n_quota = r.usize()?;
+    if n_quota > 64 {
+        return None;
+    }
+    let mut thread_stats_at_quota = Vec::with_capacity(n_quota);
+    for _ in 0..n_quota {
+        thread_stats_at_quota.push(if r.bool()? {
+            Some(read_thread_stats(&mut r)?)
+        } else {
+            None
+        });
+    }
+    let mem_events = rat_mem::MemEventStats {
+        port_conflicts: r.u64()?,
+        port_wait_cycles: r.u64()?,
+        bus_transfers: r.u64()?,
+        bus_busy_cycles: r.u64()?,
+        bus_wait_cycles: r.u64()?,
+        completed_transfers: r.u64()?,
+    };
+    if r.pos != words.len() {
+        return None; // trailing garbage
+    }
+    Some(MixResult {
+        mix,
+        policy,
+        ipcs,
+        executed_insts,
+        cycles,
+        complete,
+        thread_stats,
+        thread_stats_at_quota,
+        mem_events,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{RunConfig, Runner};
+    use rat_smt::SmtConfig;
+    use rat_workload::{mixes_for_group, WorkloadGroup};
+
+    fn quick() -> RunConfig {
+        RunConfig {
+            insts_per_thread: 1_500,
+            warmup_insts: 500,
+            max_cycles: 50_000_000,
+            seed: 7,
+            ..RunConfig::default()
+        }
+    }
+
+    fn sample_result() -> (CellKey, MixResult) {
+        let runner = Runner::new(SmtConfig::hpca2008_baseline(), quick());
+        let mix = &mixes_for_group(WorkloadGroup::Mix2)[0];
+        let r = runner.run_mix(mix, PolicyKind::Rat);
+        let key = CellKey::new(runner.config_fingerprint(), mix, PolicyKind::Rat, 7);
+        (key, r)
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("rat_store_{}_{}", std::process::id(), name))
+    }
+
+    #[test]
+    fn codec_roundtrips_bit_exactly() {
+        let (key, r) = sample_result();
+        let words = encode_result(&r);
+        let back = decode_result(&words, &key).expect("decodes");
+        assert_eq!(encode_result(&back), words, "codec must be a bijection");
+        assert_eq!(back.mix, r.mix);
+        assert_eq!(back.policy, r.policy);
+        assert_eq!(
+            back.ipcs.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            r.ipcs.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn record_line_roundtrips_and_rejects_corruption() {
+        let (key, r) = sample_result();
+        let words = encode_result(&r);
+        let line = format_record_line(&key, &words);
+        let (k2, w2) = parse_record(&line).expect("parses");
+        assert_eq!(k2, key);
+        assert_eq!(w2, words);
+        // Any single-character corruption must fail the checksum.
+        let mut corrupt = line.clone().into_bytes();
+        let mid = corrupt.len() / 2;
+        corrupt[mid] ^= 0x01;
+        let corrupt = String::from_utf8(corrupt).unwrap();
+        assert!(parse_record(&corrupt).is_none(), "corruption undetected");
+        // A torn prefix must fail too.
+        assert!(parse_record(&line[..line.len() * 3 / 5]).is_none());
+    }
+
+    #[test]
+    fn store_persists_and_replays() {
+        let path = tmp("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let (key, r) = sample_result();
+        {
+            let store = ResultStore::open(&path);
+            assert!(store.is_empty());
+            assert!(store.put(&key, &r));
+        }
+        let store = ResultStore::open(&path);
+        assert_eq!(store.stats().loaded, 1);
+        assert_eq!(store.stats().quarantined, 0);
+        let back = store.get(&key).expect("replay");
+        assert_eq!(encode_result(&back), encode_result(&r));
+        assert_eq!(store.stats().hits, 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_quarantined_not_fatal() {
+        let path = tmp("torn");
+        let _ = std::fs::remove_file(&path);
+        let (key, r) = sample_result();
+        let store = ResultStore::open(&path);
+        store.put(&key, &r);
+        drop(store);
+        // Simulate a kill mid-append: chop the file mid-record.
+        let body = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &body[..body.len() - 20]).unwrap();
+        let store = ResultStore::open(&path);
+        assert_eq!(store.stats().loaded, 0);
+        assert_eq!(store.stats().quarantined, 1);
+        assert!(store.get(&key).is_none(), "torn record must not be served");
+        assert!(store.quarantine_path().exists());
+        // The journal was compacted: reopening sees a clean (empty) file.
+        let again = ResultStore::open(&path);
+        assert_eq!(again.stats().quarantined, 0);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(store.quarantine_path());
+    }
+
+    #[test]
+    fn foreign_layout_is_quarantined_wholesale() {
+        let path = tmp("foreign");
+        std::fs::write(&path, "some other format\nrec nonsense\n").unwrap();
+        let store = ResultStore::open(&path);
+        assert_eq!(store.stats().loaded, 0);
+        assert_eq!(store.stats().quarantined, 2);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(store.quarantine_path());
+    }
+
+    #[test]
+    fn atomic_write_replaces_contents() {
+        let path = tmp("atomic");
+        atomic_write(&path, b"first").unwrap();
+        atomic_write(&path, b"second").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "second");
+        let _ = std::fs::remove_file(&path);
+    }
+}

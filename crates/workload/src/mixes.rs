@@ -44,6 +44,16 @@ impl WorkloadGroup {
         }
     }
 
+    /// Parses a Table 2 group name (as printed by [`Self::name`],
+    /// case-insensitive) — the inverse needed to rebuild a mix from a
+    /// persisted result-store record.
+    pub fn from_name(name: &str) -> Option<WorkloadGroup> {
+        ALL_GROUPS
+            .iter()
+            .copied()
+            .find(|g| g.name().eq_ignore_ascii_case(name))
+    }
+
     /// Number of threads in each mix of this group.
     pub fn thread_count(self) -> usize {
         match self {
