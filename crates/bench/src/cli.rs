@@ -13,7 +13,8 @@ use rat_smt::PolicyKind;
 /// the cycle-skipping ablation), `--no-replay` (functionally re-execute
 /// squashed spans — the fetch-replay ablation), `--no-drain` (keep every
 /// thread at full fidelity past its quota — the FAME-overshoot
-/// ablation), `--quick` (tiny preset).
+/// ablation), `--cell-timeout SECS` (wall-clock watchdog per sweep
+/// cell), `--quick` (tiny preset).
 #[derive(Clone, Debug)]
 pub struct HarnessArgs {
     /// Per-thread committed-instruction quota for measurement.
@@ -53,6 +54,11 @@ pub struct HarnessArgs {
     /// (see [`rat_core::FaultPlan::parse`]): `panic@CELL`, `flip@REC`,
     /// `torn@REC`, `enospc@REC` tokens, or `seed:N`.
     pub fault_plan: Option<String>,
+    /// Per-cell wall-clock watchdog in seconds: a cell still simulating
+    /// after this long is abandoned as a timeout failure while the rest
+    /// of the sweep completes. `0` times every computed cell out
+    /// immediately (deterministic; used by tests). `None` = no limit.
+    pub cell_timeout: Option<f64>,
     /// Restrict (and reorder) the sweep's policy set: comma-separated
     /// policy names resolved by [`PolicyKind::from_name`]. `None` keeps
     /// each figure's full default set.
@@ -74,6 +80,7 @@ impl Default for HarnessArgs {
             no_drain: false,
             resume: None,
             fault_plan: None,
+            cell_timeout: None,
             policies: None,
         }
     }
@@ -126,6 +133,14 @@ impl HarnessArgs {
                     }
                     out.fault_plan = Some(spec);
                 }
+                "--cell-timeout" => {
+                    let secs: f64 = args
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|s: &f64| s.is_finite() && *s >= 0.0)
+                        .unwrap_or_else(|| panic!("expected seconds (>= 0) after --cell-timeout"));
+                    out.cell_timeout = Some(secs);
+                }
                 "--policies" => {
                     let list = args
                         .next()
@@ -156,6 +171,7 @@ impl HarnessArgs {
                          --threads N (0=all cores, 1=serial)  --csv  --st-cache PATH  \
                          --resume PATH (crash-safe result journal; replay + recompute)  \
                          --fault-plan SPEC (panic@C,flip@R,torn@R,enospc@R or seed:N)  \
+                         --cell-timeout SECS (abandon a cell still simulating after SECS)  \
                          --policies A,B,.. (restrict the policy set)  \
                          --no-skip  --no-replay  --no-drain  --quick"
                     );
@@ -291,6 +307,21 @@ mod tests {
         );
         assert_eq!(a.resume.as_deref(), Some("/tmp/sweep.journal"));
         assert_eq!(a.fault_plan.as_deref(), Some("panic@2,flip@0"));
+    }
+
+    #[test]
+    fn cell_timeout_flag() {
+        assert!(HarnessArgs::default().cell_timeout.is_none());
+        let a = HarnessArgs::parse(["--cell-timeout", "2.5"].iter().map(|s| s.to_string()));
+        assert_eq!(a.cell_timeout, Some(2.5));
+        let z = HarnessArgs::parse(["--cell-timeout", "0"].iter().map(|s| s.to_string()));
+        assert_eq!(z.cell_timeout, Some(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "--cell-timeout")]
+    fn negative_cell_timeout_fails_fast() {
+        HarnessArgs::parse(["--cell-timeout", "-1"].iter().map(|s| s.to_string()));
     }
 
     #[test]

@@ -18,9 +18,12 @@
 //! printed tables are bit-identical at any thread count and across
 //! kill/resume cycles (`--threads 1` reproduces the serial run exactly).
 
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use rat_core::{parallel, CellKey, FaultPlan, GroupSummary, MixResult, ResultStore, Runner};
+use rat_core::{
+    parallel, CellErrorKind, CellKey, FaultPlan, GroupSummary, MixResult, ResultStore, Runner,
+};
 use rat_smt::PolicyKind;
 use rat_workload::{mixes_for_group, Mix, WorkloadGroup, ALL_GROUPS};
 
@@ -64,34 +67,46 @@ pub fn emit_truncation_note(truncated: bool, csv: bool) {
 }
 
 /// The crash-safety context of one sweep invocation: the optional
-/// result journal (`--resume`) and the optional fault-injection plan
-/// (`--fault-plan`).
+/// result journal (`--resume`), the optional fault-injection plan
+/// (`--fault-plan`), and the optional wall-clock bounds (the
+/// `--cell-timeout` watchdog and a whole-request deadline).
 #[derive(Default)]
 pub struct SweepSession {
     /// Completed-cell journal; `None` runs everything and persists
-    /// nothing.
-    pub store: Option<ResultStore>,
+    /// nothing. Shared (`Arc`) so a long-lived owner — the sweep
+    /// server — can hand the same journal to many concurrent sweeps.
+    pub store: Option<Arc<ResultStore>>,
     /// Injected faults; `None` runs clean.
     pub fault_plan: Option<FaultPlan>,
+    /// Per-cell wall-clock watchdog: a cell still simulating after this
+    /// long is abandoned as a [`CellErrorKind::Timeout`] failure while
+    /// the rest of the sweep proceeds. `None` lets cells run forever.
+    pub cell_timeout: Option<Duration>,
+    /// Whole-request deadline (the sweep server's `deadline_ms`): cells
+    /// not *started* before this instant fail as timeouts instead of
+    /// running, and a running cell's budget is clipped to the time
+    /// remaining. Journal replays are exempt — warm cells are free.
+    pub deadline: Option<Instant>,
 }
 
 impl SweepSession {
-    /// No journal, no faults — the plain sweep.
+    /// No journal, no faults, no clocks — the plain sweep.
     pub fn none() -> SweepSession {
         SweepSession::default()
     }
 
     /// Builds the session the harness arguments describe: opens (or
     /// creates) the `--resume` journal — reporting replayed/quarantined
-    /// record counts — and installs the `--fault-plan` into both the
-    /// worker pool (panics) and the store (record corruption).
+    /// record counts — installs the `--fault-plan` into both the worker
+    /// pool (panics) and the store (record corruption), and arms the
+    /// `--cell-timeout` watchdog.
     pub fn from_args(args: &HarnessArgs) -> SweepSession {
         let fault_plan = args
             .fault_plan
             .as_deref()
             .map(|spec| FaultPlan::parse(spec).expect("validated at argument parse time"));
         let store = args.resume.as_deref().map(|path| {
-            let mut store = ResultStore::open(path);
+            let store = ResultStore::open(path);
             let s = store.stats();
             if s.loaded > 0 || s.quarantined > 0 {
                 eprintln!(
@@ -103,9 +118,14 @@ impl SweepSession {
             if let Some(plan) = &fault_plan {
                 store.set_fault_plan(plan.clone());
             }
-            store
+            Arc::new(store)
         });
-        SweepSession { store, fault_plan }
+        SweepSession {
+            store,
+            fault_plan,
+            cell_timeout: args.cell_timeout.map(Duration::from_secs_f64),
+            deadline: None,
+        }
     }
 }
 
@@ -132,8 +152,9 @@ impl SweepCell<'_> {
     }
 }
 
-/// A cell whose worker panicked: full identity for the end-of-sweep
-/// report, so a failed cell can be pinpointed (and re-run) exactly.
+/// A cell that produced no result — its worker panicked or its wall
+/// clock ran out. Full identity for the end-of-sweep report, so a
+/// failed cell can be pinpointed (and re-run) exactly.
 #[derive(Clone, Debug)]
 pub struct CellFailure {
     /// Index in the sweep's deterministic cell list.
@@ -141,7 +162,9 @@ pub struct CellFailure {
     /// `group(mix) under policy [seed, cfg]` — see
     /// [`rat_core::CellKey::identity`].
     pub identity: String,
-    /// The panic message.
+    /// Panic or wall-clock timeout.
+    pub kind: CellErrorKind,
+    /// The panic message or budget description.
     pub error: String,
 }
 
@@ -182,26 +205,55 @@ pub fn run_cells(cells: &[SweepCell<'_>], threads: usize, session: &SweepSession
                 panic!("injected fault: worker panic at cell {ci}");
             }
         }
-        let result = cells[ci].runner.run_mix(&cells[ci].mix, cells[ci].policy);
+        // The cell's wall-clock budget: the watchdog, clipped to
+        // whatever is left of the request deadline. A cell that cannot
+        // even start before the deadline times out without simulating.
+        let mut budget = session.cell_timeout;
+        if let Some(deadline) = session.deadline {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(parallel::CellError::timeout(
+                    ci,
+                    "request deadline expired before the cell started",
+                ));
+            }
+            let left = deadline - now;
+            budget = Some(budget.map_or(left, |b| b.min(left)));
+        }
+        let result = cells[ci]
+            .runner
+            .run_mix_budgeted(&cells[ci].mix, cells[ci].policy, budget)
+            .map_err(|elapsed| {
+                parallel::CellError::timeout(
+                    ci,
+                    format!(
+                        "abandoned after {:.3}s of wall clock",
+                        elapsed.as_secs_f64()
+                    ),
+                )
+            })?;
         if let Some(store) = &session.store {
             // Journal immediately — durability is per cell, not per
             // sweep, so a kill after this point never re-simulates it.
             store.put(&keys[ci], &result);
         }
-        result
+        Ok(result)
     });
 
     let mut failures = Vec::new();
     let mut computed = 0usize;
     for (&ci, outcome) in missing.iter().zip(computed_results) {
+        // Two failure layers: the panic isolation wrapper (outer) and
+        // the watchdog/deadline result (inner) — flatten to one.
         match outcome {
-            Ok(r) => {
+            Ok(Ok(r)) => {
                 results[ci] = Some(r);
                 computed += 1;
             }
-            Err(e) => failures.push(CellFailure {
+            Ok(Err(e)) | Err(e) => failures.push(CellFailure {
                 index: ci,
                 identity: keys[ci].identity(),
+                kind: e.kind,
                 error: e.message,
             }),
         }
@@ -227,7 +279,13 @@ pub fn report_failures(failures: &[CellFailure]) -> i32 {
         failures.len()
     );
     for f in failures {
-        eprintln!("  cell {}: {} — {}", f.index, f.identity, f.error);
+        eprintln!(
+            "  cell {}: {} {} — {}",
+            f.index,
+            f.identity,
+            f.kind.verb(),
+            f.error
+        );
     }
     eprintln!("sweep: re-run with --resume to recompute only the failed cells");
     1
@@ -323,10 +381,10 @@ pub fn policy_matrix(
     }
     if let Some(store) = &session.store {
         let s = store.stats();
-        if s.quarantined > 0 || s.append_failures > 0 {
+        if s.quarantined > 0 || s.append_failures > 0 || s.retries > 0 {
             line.push_str(&format!(
-                ", store: {} quarantined, {} append failure(s)",
-                s.quarantined, s.append_failures
+                ", store: {} quarantined, {} append failure(s), {} append retry(ies)",
+                s.quarantined, s.append_failures, s.retries
             ));
         }
     }
@@ -400,12 +458,13 @@ mod tests {
             })
             .collect();
         let session = SweepSession {
-            store: None,
             fault_plan: Some(FaultPlan::parse("panic@1").unwrap()),
+            ..SweepSession::none()
         };
         let report = run_cells(&cells, 2, &session);
         assert_eq!(report.failures.len(), 1);
         assert_eq!(report.failures[0].index, 1);
+        assert_eq!(report.failures[0].kind, CellErrorKind::Panic);
         assert!(report.failures[0].identity.contains("ILP2"));
         assert!(report.results[0].is_some() && report.results[2].is_some());
         assert!(report.results[1].is_none());

@@ -22,8 +22,9 @@
 //! which is exactly the recovery semantics under test.
 
 /// splitmix64's finalizer: a full-avalanche 64-bit hash, so per-index
-/// fault decisions are independent draws of a seeded stream.
-fn mix64(mut z: u64) -> u64 {
+/// fault decisions (and [`crate::retry::Backoff`] jitter draws) are
+/// independent draws of a seeded stream.
+pub(crate) fn mix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

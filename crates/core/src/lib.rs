@@ -48,15 +48,19 @@ mod metrics;
 pub mod faultinject;
 pub mod lock;
 pub mod parallel;
+pub mod retry;
 mod runner;
 pub mod store;
 
 pub use faultinject::{FaultPlan, RecordFault};
 pub use lock::{get_mut_recover, lock_recover};
 pub use metrics::{ed2, fairness_from_ipcs, throughput_from_ipcs};
-pub use parallel::{par_map, par_map_isolated, resolve_threads, CellError};
+pub use parallel::{par_map, par_map_isolated, resolve_threads, CellError, CellErrorKind};
+pub use retry::Backoff;
 pub use runner::{GroupSummary, MixResult, RunConfig, Runner};
-pub use store::{atomic_write, CellKey, ResultStore, StoreStats};
+pub use store::{
+    atomic_write, format_record_line, parse_record_line, CellKey, ResultStore, StoreStats,
+};
 
 // Re-export the layers so downstream users need a single dependency.
 pub use rat_bpred as bpred;

@@ -10,21 +10,62 @@
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// A sweep cell whose worker panicked: the cell index plus the panic
-/// payload, carried in the result lattice instead of torn down the
+/// Why a sweep cell failed without producing a result.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CellErrorKind {
+    /// The worker panicked (a real bug or an injected fault); the panic
+    /// was caught on the worker and isolated to this cell.
+    Panic,
+    /// The cell exceeded its wall-clock budget (the `--cell-timeout`
+    /// watchdog, or a request deadline in the sweep server) and was
+    /// abandoned between simulation slices.
+    Timeout,
+}
+
+impl CellErrorKind {
+    /// Past-tense verb for reports (`panicked` / `timed out`).
+    pub fn verb(self) -> &'static str {
+        match self {
+            CellErrorKind::Panic => "panicked",
+            CellErrorKind::Timeout => "timed out",
+        }
+    }
+}
+
+/// A sweep cell that failed: the cell index plus the failure kind and
+/// message, carried in the result lattice instead of tearing down the
 /// whole sweep (see [`par_map_isolated`]).
 #[derive(Clone, Debug)]
 pub struct CellError {
     /// Index of the failed item in the input slice.
     pub index: usize,
+    /// Panic or wall-clock timeout.
+    pub kind: CellErrorKind,
     /// The panic message (`"non-string panic payload"` when the payload
-    /// was not a string).
+    /// was not a string), or a description of the exhausted budget.
     pub message: String,
+}
+
+impl CellError {
+    /// A watchdog/deadline expiry for item `index`.
+    pub fn timeout(index: usize, message: impl Into<String>) -> CellError {
+        CellError {
+            index,
+            kind: CellErrorKind::Timeout,
+            message: message.into(),
+        }
+    }
 }
 
 impl std::fmt::Display for CellError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "cell {} panicked: {}", self.index, self.message)
+        write!(
+            f,
+            "cell {} {}: {}",
+            self.index,
+            self.kind.verb(),
+            self.message
+        )
     }
 }
 
@@ -125,6 +166,7 @@ where
     par_map(threads, items, |i, t| {
         std::panic::catch_unwind(AssertUnwindSafe(|| f(i, t))).map_err(|payload| CellError {
             index: i,
+            kind: CellErrorKind::Panic,
             message: panic_message(payload),
         })
     })

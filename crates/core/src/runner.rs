@@ -335,6 +335,67 @@ impl Runner {
         sim.reset_stats();
         sim.set_quota_drain(!self.run.no_drain);
         let complete = sim.run_until_quota(self.run.insts_per_thread, self.run.max_cycles);
+        self.finish_mix(&sim, mix, policy, complete)
+    }
+
+    /// [`Runner::run_mix`] under a wall-clock watchdog: the simulation
+    /// advances in bounded cycle slices and the elapsed time is checked
+    /// between slices, so a pathological or hung cell is abandoned with
+    /// `Err(elapsed)` instead of wedging its sweep worker forever.
+    ///
+    /// A run that finishes within its budget is **bit-identical** to
+    /// [`Runner::run_mix`]: `run_until_quota` is resumable, so slicing
+    /// the cycle deadline changes nothing but where the wall clock is
+    /// sampled (enforced by `tests/cell_timeout.rs`). The clock is
+    /// checked *before* each slice, so a zero budget times out
+    /// deterministically without simulating a cycle.
+    pub fn run_mix_budgeted(
+        &self,
+        mix: &Mix,
+        policy: PolicyKind,
+        budget: Option<std::time::Duration>,
+    ) -> Result<MixResult, std::time::Duration> {
+        let Some(budget) = budget else {
+            return Ok(self.run_mix(mix, policy));
+        };
+        /// Cycles simulated between watchdog checks (~0.1 s of wall
+        /// clock at the simulator's typical Mcycles/s).
+        const SLICE_CYCLES: u64 = 100_000;
+        let started = std::time::Instant::now();
+        let mut sim = self.build_sim(&mix.benchmarks, policy, self.run.seed);
+        let phase = |sim: &mut SmtSimulator, quota: u64| -> Result<bool, std::time::Duration> {
+            let mut remaining = self.run.max_cycles;
+            loop {
+                let elapsed = started.elapsed();
+                if elapsed >= budget {
+                    return Err(elapsed);
+                }
+                let slice = SLICE_CYCLES.min(remaining);
+                if sim.run_until_quota(quota, slice) {
+                    return Ok(true);
+                }
+                remaining -= slice;
+                if remaining == 0 {
+                    return Ok(false);
+                }
+            }
+        };
+        phase(&mut sim, self.run.warmup_insts)?;
+        sim.reset_stats();
+        sim.set_quota_drain(!self.run.no_drain);
+        let complete = phase(&mut sim, self.run.insts_per_thread)?;
+        Ok(self.finish_mix(&sim, mix, policy, complete))
+    }
+
+    /// Collects a finished simulation into a [`MixResult`] (warning on a
+    /// truncated measurement window).
+    fn finish_mix(
+        &self,
+        sim: &SmtSimulator,
+        mix: &Mix,
+        policy: PolicyKind,
+        complete: bool,
+    ) -> MixResult {
         if !complete {
             self.warn(format!(
                 "warning: {mix} under {policy} hit max_cycles ({}) before every thread \

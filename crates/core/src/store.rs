@@ -22,9 +22,20 @@
 //! silently served and never aborts the sweep.
 //!
 //! Append failures (e.g. a full disk, or an injected `enospc` fault
-//! from [`crate::faultinject::FaultPlan`]) are non-fatal too: the cell's
-//! result stays in memory for the current run and is recomputed on the
-//! next resume.
+//! from [`crate::faultinject::FaultPlan`]) are non-fatal: the append is
+//! first retried a few times with a short bounded backoff
+//! ([`crate::retry::Backoff`]) — transient failures heal invisibly, and
+//! the retries are counted in [`StoreStats::retries`] — and only a
+//! persistently failing append falls back to count-and-continue: the
+//! cell's result stays in memory for the current run and is recomputed
+//! on the next resume.
+//!
+//! On open, the journal **auto-compacts** when it carries junk worth
+//! dropping: once quarantined plus duplicate records reach
+//! [`COMPACT_THRESHOLD`], the file is rewritten through the same
+//! tmp+rename path ([`ResultStore::rewrite_journal`]) and a line is
+//! logged saying what was dropped. A clean journal is left untouched —
+//! opening a large healthy journal does not rewrite it.
 //!
 //! The store is internally synchronized (poison-recovering mutex), so
 //! concurrent `par_map` workers can `put` as they finish. It is not
@@ -34,17 +45,29 @@ use std::collections::HashMap;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
+use std::time::Duration;
 
 use rat_smt::{PolicyKind, ThreadStats};
 use rat_workload::{Benchmark, Mix, WorkloadGroup};
 
 use crate::faultinject::{FaultPlan, RecordFault};
-use crate::lock::{get_mut_recover, lock_recover};
+use crate::lock::lock_recover;
+use crate::retry::Backoff;
 use crate::runner::MixResult;
 
 /// First line of every journal file; bump the version when the record
 /// word layout changes so old journals are recomputed, not misread.
 const MAGIC: &str = "ratstore v1";
+
+/// Journal-open compaction trigger: once this many records were dropped
+/// at load (quarantined corruption plus duplicate keys), the journal is
+/// rewritten without them. At 1, any junk is compacted away immediately;
+/// a clean journal is never rewritten.
+pub const COMPACT_THRESHOLD: usize = 1;
+
+/// Append retries before an append failure becomes permanent (so a
+/// `put` makes up to `1 + APPEND_RETRIES` attempts).
+const APPEND_RETRIES: u32 = 3;
 
 /// FNV-1a, the repo's standard content fingerprint.
 pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
@@ -110,8 +133,9 @@ impl CellKey {
     }
 
     /// Rebuilds the [`Mix`] this key names (`None` if the group or a
-    /// benchmark name does not parse — a corrupt or foreign record).
-    fn to_mix(&self) -> Option<Mix> {
+    /// benchmark name does not parse — a corrupt or foreign record, or
+    /// an invalid request in the sweep server).
+    pub fn to_mix(&self) -> Option<Mix> {
         let group = WorkloadGroup::from_name(&self.group)?;
         let benchmarks: Option<Vec<Benchmark>> =
             self.mix.split('+').map(Benchmark::from_name).collect();
@@ -130,12 +154,19 @@ pub struct StoreStats {
     pub loaded: usize,
     /// Corrupt/torn/unparseable records quarantined at open.
     pub quarantined: usize,
+    /// Valid records at open whose key was already loaded (e.g. two
+    /// processes appending the same cell); the later record wins and the
+    /// earlier is dropped at the next compaction.
+    pub duplicates: usize,
     /// `get` calls that found a record (journal replays).
     pub hits: u64,
     /// Records appended (durably) this run.
     pub appended: u64,
-    /// Appends that failed (I/O error or injected `enospc`); the result
-    /// was kept in memory but will be recomputed on the next resume.
+    /// Append attempts re-tried after a transient failure (I/O error or
+    /// injected `enospc`) before succeeding or giving up.
+    pub retries: u64,
+    /// Appends that failed even after retries; the result was kept in
+    /// memory but will be recomputed on the next resume.
     pub append_failures: u64,
 }
 
@@ -162,11 +193,12 @@ impl ResultStore {
         let mut records = HashMap::new();
         let mut stats = StoreStats::default();
         let mut bad_lines: Vec<String> = Vec::new();
+        let mut header_ok = false;
 
         match std::fs::read_to_string(&path) {
             Ok(body) => {
                 let mut lines = body.lines();
-                let header_ok = lines.next().map(str::trim) == Some(MAGIC);
+                header_ok = lines.next().map(str::trim) == Some(MAGIC);
                 if !header_ok {
                     // Unknown layout: quarantine everything, start fresh.
                     bad_lines.extend(body.lines().map(str::to_string));
@@ -176,9 +208,11 @@ impl ResultStore {
                         if line.is_empty() || line.starts_with('#') {
                             continue;
                         }
-                        match parse_record(line) {
+                        match parse_record_line(line) {
                             Some((key, words)) => {
-                                records.insert(key, words);
+                                if records.insert(key, words).is_some() {
+                                    stats.duplicates += 1;
+                                }
                                 stats.loaded += 1;
                             }
                             None => bad_lines.push(line.to_string()),
@@ -204,6 +238,7 @@ impl ResultStore {
             }
         }
 
+        let dropped = stats.quarantined + stats.duplicates;
         let store = ResultStore {
             path,
             inner: Mutex::new(StoreInner {
@@ -213,16 +248,30 @@ impl ResultStore {
                 fault: None,
             }),
         };
-        // Compact: drop quarantined lines from the live journal (atomic
-        // rewrite), or create the file with its header on first open.
-        store.rewrite_journal();
+        // Auto-compaction: create the file (with its header) on first
+        // open, and rewrite it — dropping quarantined and duplicate
+        // lines — once the junk reaches the threshold. A clean journal
+        // is opened without a rewrite.
+        if !header_ok {
+            store.rewrite_journal();
+        } else if dropped >= COMPACT_THRESHOLD {
+            store.rewrite_journal();
+            eprintln!(
+                "result-store: compacted {} — dropped {} quarantined and {} duplicate record(s)",
+                store.path.display(),
+                store.stats().quarantined,
+                store.stats().duplicates,
+            );
+        }
         store
     }
 
     /// Installs a fault plan whose record faults apply to subsequent
-    /// appends (see [`FaultPlan::record_fault`]).
-    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
-        get_mut_recover(&mut self.inner).fault = Some(plan);
+    /// appends (see [`FaultPlan::record_fault`]). Takes `&self` so a
+    /// plan can be installed on a store already shared behind an `Arc`
+    /// (the sweep server's configuration path).
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        lock_recover(&self.inner).fault = Some(plan);
     }
 
     /// The journal path.
@@ -262,59 +311,85 @@ impl ResultStore {
     }
 
     /// Persists `result` under `key`: one checksummed record appended to
-    /// the journal. Returns `false` (after counting the failure) if the
-    /// append did not reach the disk — the caller's sweep continues
-    /// either way.
+    /// the journal. A failed append (I/O error or injected `enospc`) is
+    /// retried with a short bounded backoff — each fault-plan index
+    /// covers one *attempt*, so `enospc@K` alone is a transient failure
+    /// the retry heals, while consecutive indices exhaust the schedule.
+    /// Returns `false` (after counting the failure) only when every
+    /// attempt failed — the caller's sweep continues either way.
+    ///
+    /// The store lock is held across the retry sleeps; the schedule is
+    /// sized in single-digit milliseconds so a full-disk episode stalls
+    /// concurrent workers briefly rather than reordering the journal.
     pub fn put(&self, key: &CellKey, result: &MixResult) -> bool {
         let words = encode_result(result);
         let line = format_record(key, &words);
         let mut inner = lock_recover(&self.inner);
-        let attempt = inner.append_attempts;
-        inner.append_attempts += 1;
-        let fault = inner.fault.as_ref().and_then(|p| p.record_fault(attempt));
         // The in-memory copy is installed regardless: within this run
         // the result is valid even if the disk copy is not.
         inner.records.insert(key.clone(), words);
 
-        let payload: Vec<u8> = match fault {
-            None => line.into_bytes(),
-            Some(RecordFault::Enospc) => {
-                inner.stats.append_failures += 1;
-                eprintln!(
-                    "result-store: injected ENOSPC on append {attempt} ({})",
-                    key.identity()
-                );
-                return false;
-            }
-            Some(RecordFault::Torn) => {
-                // A kill mid-append: only a prefix of the line lands.
-                let cut = line.len() * 3 / 5;
-                let mut torn = line.into_bytes();
-                torn.truncate(cut);
-                torn.push(b'\n');
-                torn
-            }
-            Some(RecordFault::BitFlip) => {
-                // Silent media corruption inside the checksummed region.
-                let mut flipped = line.into_bytes();
-                let target = flipped.len() / 2;
-                flipped[target] ^= 0x01;
-                flipped
-            }
-        };
-        match append_bytes(&self.path, &payload) {
-            Ok(()) => {
-                inner.stats.appended += 1;
-                true
-            }
-            Err(e) => {
-                inner.stats.append_failures += 1;
-                eprintln!(
-                    "result-store: append to {} failed ({e}); {} will be recomputed on resume",
-                    self.path.display(),
-                    key.identity()
-                );
-                false
+        let backoff = Backoff::new(
+            Duration::from_millis(1),
+            Duration::from_millis(4),
+            APPEND_RETRIES,
+            key.fingerprint ^ key.seed,
+        );
+        let mut retry = 0u32;
+        loop {
+            let attempt = inner.append_attempts;
+            inner.append_attempts += 1;
+            let fault = inner.fault.as_ref().and_then(|p| p.record_fault(attempt));
+            let outcome = match fault {
+                None => append_bytes(&self.path, line.as_bytes()),
+                Some(RecordFault::Enospc) => Err(std::io::Error::other(format!(
+                    "injected ENOSPC on append {attempt}"
+                ))),
+                Some(RecordFault::Torn) => {
+                    // A kill mid-append: only a prefix of the line lands.
+                    // The write itself "succeeds" — the damage is only
+                    // visible to the next open, so no retry fires.
+                    let cut = line.len() * 3 / 5;
+                    let mut torn = line.clone().into_bytes();
+                    torn.truncate(cut);
+                    torn.push(b'\n');
+                    append_bytes(&self.path, &torn)
+                }
+                Some(RecordFault::BitFlip) => {
+                    // Silent media corruption inside the checksummed
+                    // region — also an apparent success.
+                    let mut flipped = line.clone().into_bytes();
+                    let target = flipped.len() / 2;
+                    flipped[target] ^= 0x01;
+                    append_bytes(&self.path, &flipped)
+                }
+            };
+            match outcome {
+                Ok(()) => {
+                    inner.stats.appended += 1;
+                    return true;
+                }
+                Err(e) if retry < backoff.max_retries() => {
+                    inner.stats.retries += 1;
+                    eprintln!(
+                        "result-store: append to {} failed ({e}); retry {} of {}",
+                        self.path.display(),
+                        retry + 1,
+                        backoff.max_retries()
+                    );
+                    std::thread::sleep(backoff.delay(retry));
+                    retry += 1;
+                }
+                Err(e) => {
+                    inner.stats.append_failures += 1;
+                    eprintln!(
+                        "result-store: append to {} failed after {retry} retries ({e}); \
+                         {} will be recomputed on resume",
+                        self.path.display(),
+                        key.identity()
+                    );
+                    return false;
+                }
             }
         }
     }
@@ -369,7 +444,12 @@ fn append_bytes(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
 // FNV-1a over the canonical body (everything before " crc"). `f64`s
 // travel as `to_bits` words, so replays are bit-exact.
 
-fn format_record_line(key: &CellKey, words: &[u64]) -> String {
+/// Renders one journal record line (no trailing newline): the key, the
+/// [`encode_result`] payload words, and a trailing FNV-1a checksum. The
+/// sweep server reuses these lines verbatim as its `RESULT` payload, so
+/// results travel the wire with the same bit-exactness and corruption
+/// detection the journal has.
+pub fn format_record_line(key: &CellKey, words: &[u64]) -> String {
     let mut body = format!(
         "rec {:016x} {} {} {} {} {}",
         key.fingerprint,
@@ -392,9 +472,10 @@ fn format_record(key: &CellKey, words: &[u64]) -> String {
     line
 }
 
-/// Parses one journal line into its key and payload words; `None` on any
-/// structural or checksum failure (the caller quarantines).
-fn parse_record(line: &str) -> Option<(CellKey, Vec<u64>)> {
+/// Parses one journal (or wire) record line into its key and payload
+/// words; `None` on any structural or checksum failure (the journal
+/// loader quarantines, the sweep client refuses the reply).
+pub fn parse_record_line(line: &str) -> Option<(CellKey, Vec<u64>)> {
     let (body, crc_part) = line.rsplit_once(" crc ")?;
     let crc = u64::from_str_radix(crc_part.trim(), 16).ok()?;
     if fnv1a(body.as_bytes()) != crc {
@@ -677,7 +758,7 @@ mod tests {
         let (key, r) = sample_result();
         let words = encode_result(&r);
         let line = format_record_line(&key, &words);
-        let (k2, w2) = parse_record(&line).expect("parses");
+        let (k2, w2) = parse_record_line(&line).expect("parses");
         assert_eq!(k2, key);
         assert_eq!(w2, words);
         // Any single-character corruption must fail the checksum.
@@ -685,9 +766,12 @@ mod tests {
         let mid = corrupt.len() / 2;
         corrupt[mid] ^= 0x01;
         let corrupt = String::from_utf8(corrupt).unwrap();
-        assert!(parse_record(&corrupt).is_none(), "corruption undetected");
+        assert!(
+            parse_record_line(&corrupt).is_none(),
+            "corruption undetected"
+        );
         // A torn prefix must fail too.
-        assert!(parse_record(&line[..line.len() * 3 / 5]).is_none());
+        assert!(parse_record_line(&line[..line.len() * 3 / 5]).is_none());
     }
 
     #[test]

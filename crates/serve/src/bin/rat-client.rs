@@ -1,0 +1,183 @@
+//! The sweep client binary.
+//!
+//! ```text
+//! rat-client --addr HOST:PORT ping|stats|shutdown
+//! rat-client --addr HOST:PORT sweep --group MEM2 [--policies icount,rat]
+//!            [--mixes N] [--insts N] [--warmup N] [--seed N]
+//!            [--deadline-ms N] [--id N]
+//! ```
+//!
+//! `sweep` builds the `group × policies × mixes` batch, submits it
+//! (retrying `BUSY` and connection failures with seeded backoff), and
+//! prints one line per cell plus the `done ...` counters. Exit code:
+//! `0` all cells ok, `1` some cells timed out or failed, `2` transport
+//! or usage error.
+
+use rat_serve::{CellOutcome, CellSpec, Client, SweepRequest};
+use rat_smt::PolicyKind;
+use rat_workload::{mixes_for_group, WorkloadGroup};
+
+struct Args {
+    addr: String,
+    command: String,
+    group: String,
+    policies: Vec<String>,
+    mixes: usize,
+    insts: u64,
+    warmup: u64,
+    seed: u64,
+    deadline_ms: Option<u64>,
+    id: u64,
+}
+
+fn parse_args(args: impl Iterator<Item = String>) -> Args {
+    let mut out = Args {
+        addr: String::new(),
+        command: String::new(),
+        group: "MEM2".to_string(),
+        policies: vec!["icount".to_string(), "rat".to_string()],
+        mixes: 2,
+        insts: 8_000,
+        warmup: 3_000,
+        seed: 42,
+        deadline_ms: None,
+        id: 1,
+    };
+    let mut args = args.peekable();
+    while let Some(a) = args.next() {
+        let value = |args: &mut std::iter::Peekable<_>| -> String {
+            let v: Option<String> = Iterator::next(args);
+            v.unwrap_or_else(|| panic!("expected a value after {a}"))
+        };
+        let num = |args: &mut std::iter::Peekable<_>| -> u64 {
+            value(args)
+                .parse()
+                .unwrap_or_else(|_| panic!("expected a number after {a}"))
+        };
+        match a.as_str() {
+            "--addr" => out.addr = value(&mut args),
+            "--group" => out.group = value(&mut args),
+            "--policies" => {
+                out.policies = value(&mut args).split(',').map(str::to_string).collect();
+            }
+            "--mixes" => out.mixes = num(&mut args) as usize,
+            "--insts" => out.insts = num(&mut args),
+            "--warmup" => out.warmup = num(&mut args),
+            "--seed" => out.seed = num(&mut args),
+            "--deadline-ms" => out.deadline_ms = Some(num(&mut args)),
+            "--id" => out.id = num(&mut args),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: rat-client --addr HOST:PORT ping|stats|shutdown\n\
+                     \u{20}      rat-client --addr HOST:PORT sweep [--group G] [--policies A,B] \
+                     [--mixes N] [--insts N] [--warmup N] [--seed N] [--deadline-ms N] [--id N]"
+                );
+                std::process::exit(0);
+            }
+            cmd if !cmd.starts_with("--") && out.command.is_empty() => {
+                out.command = cmd.to_string();
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    assert!(!out.addr.is_empty(), "--addr is required");
+    assert!(
+        !out.command.is_empty(),
+        "a command is required (ping|stats|shutdown|sweep)"
+    );
+    out
+}
+
+fn build_request(args: &Args) -> SweepRequest {
+    let group = WorkloadGroup::from_name(&args.group)
+        .unwrap_or_else(|| panic!("unknown group {:?}", args.group));
+    for p in &args.policies {
+        assert!(PolicyKind::from_name(p).is_some(), "unknown policy {p:?}");
+    }
+    let mut mixes = mixes_for_group(group);
+    if args.mixes > 0 {
+        mixes.truncate(args.mixes);
+    }
+    let cells = args
+        .policies
+        .iter()
+        .flat_map(|policy| {
+            mixes.iter().map(move |m| CellSpec {
+                group: args.group.clone(),
+                mix: m.label(),
+                policy: policy.clone(),
+                seed: args.seed,
+            })
+        })
+        .collect();
+    SweepRequest {
+        id: args.id,
+        insts: args.insts,
+        warmup: args.warmup,
+        deadline_ms: args.deadline_ms,
+        cells,
+    }
+}
+
+fn main() {
+    let args = parse_args(std::env::args().skip(1));
+    let client = Client::new(args.addr.clone(), args.seed);
+    let outcome = match args.command.as_str() {
+        "ping" => client.ping().map(|()| {
+            println!("pong");
+            0
+        }),
+        "stats" => client.stats().map(|map| {
+            let line: Vec<String> = map.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            println!("{}", line.join(" "));
+            0
+        }),
+        "shutdown" => client.shutdown().map(|()| {
+            println!("bye");
+            0
+        }),
+        "sweep" => {
+            let request = build_request(&args);
+            client.sweep(&request).map(|reply| {
+                let mut failed = 0usize;
+                for (spec, outcome) in request.cells.iter().zip(&reply.outcomes) {
+                    match outcome {
+                        CellOutcome::Result(r) => println!(
+                            "cell {} {} {} seed={}: throughput={:.4}",
+                            spec.group,
+                            spec.mix,
+                            spec.policy,
+                            spec.seed,
+                            r.throughput()
+                        ),
+                        CellOutcome::Timeout(msg) => {
+                            println!("cell {} {} timeout: {msg}", spec.group, spec.mix);
+                            failed += 1;
+                        }
+                        CellOutcome::Err(msg) => {
+                            println!("cell {} {} error: {msg}", spec.group, spec.mix);
+                            failed += 1;
+                        }
+                    }
+                }
+                let d = &reply.done;
+                println!(
+                    "done id={} ok={} timeout={} err={} hits={} computed={}",
+                    d["id"], d["ok"], d["timeout"], d["err"], d["hits"], d["computed"]
+                );
+                usize::from(failed > 0) as i32
+            })
+        }
+        other => {
+            eprintln!("rat-client: unknown command {other:?}");
+            std::process::exit(2);
+        }
+    };
+    match outcome {
+        Ok(code) => std::process::exit(code),
+        Err(e) => {
+            eprintln!("rat-client: {e}");
+            std::process::exit(2);
+        }
+    }
+}

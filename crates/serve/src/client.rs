@@ -1,0 +1,276 @@
+//! The retrying sweep client.
+//!
+//! [`Client::sweep`] submits a batch and survives the server's two
+//! designed refusals: a shed request (`BUSY`) and a dropped/refused
+//! connection (server restarting) are both retried under one
+//! [`Backoff`] schedule — capped exponential delays with deterministic
+//! seeded jitter. Retries are safe because requests are idempotent by
+//! construction: cells are content-addressed ([`CellKey`]), so a
+//! resubmitted batch is served from the server's journal, not
+//! recomputed.
+//!
+//! A `BAD` reply (malformed request) and a corrupt `RESULT` record are
+//! *not* retried: they cannot heal by waiting.
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use rat_core::store::decode_result;
+use rat_core::{Backoff, CellKey, MixResult};
+
+use crate::protocol::{parse_reply, LineReader, Reply, SweepRequest, MAX_LINE};
+
+/// What one cell of a sweep reply came back as.
+#[derive(Clone, Debug)]
+pub enum CellOutcome {
+    /// The cell completed; the result decoded bit-exactly.
+    Result(Box<MixResult>),
+    /// The cell hit the request deadline or the server's watchdog.
+    Timeout(String),
+    /// The cell failed (bad spec or contained worker panic).
+    Err(String),
+}
+
+impl CellOutcome {
+    /// The completed result, if any.
+    pub fn result(&self) -> Option<&MixResult> {
+        match self {
+            CellOutcome::Result(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// A full sweep reply: per-cell outcomes in request order plus the
+/// `DONE` counters (`id`, `ok`, `timeout`, `err`, `hits`, `computed`).
+#[derive(Clone, Debug)]
+pub struct SweepReply {
+    /// Outcome per requested cell, in request order.
+    pub outcomes: Vec<CellOutcome>,
+    /// The `DONE` line's counters.
+    pub done: BTreeMap<String, u64>,
+}
+
+impl SweepReply {
+    /// Cells served from the server's journal (warm cache hits).
+    pub fn hits(&self) -> u64 {
+        self.done.get("hits").copied().unwrap_or(0)
+    }
+
+    /// Cells simulated for this request.
+    pub fn computed(&self) -> u64 {
+        self.done.get("computed").copied().unwrap_or(0)
+    }
+}
+
+enum Attempt {
+    Reply(SweepReply),
+    Busy { retry_after_ms: u64 },
+}
+
+/// See the module docs.
+pub struct Client {
+    addr: String,
+    backoff: Backoff,
+    /// How long to wait for the server to produce each reply line
+    /// (cold sweeps simulate, so this is generous).
+    reply_timeout: Duration,
+}
+
+fn retryable(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::ConnectionRefused
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::BrokenPipe
+            | std::io::ErrorKind::NotConnected
+            | std::io::ErrorKind::UnexpectedEof
+            | std::io::ErrorKind::WouldBlock
+            | std::io::ErrorKind::TimedOut
+            | std::io::ErrorKind::Interrupted
+    )
+}
+
+fn bad(msg: impl Into<String>) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.into())
+}
+
+impl Client {
+    /// A client for `addr` with the default retry schedule (6 retries,
+    /// 50 ms doubling to a 2 s cap, jitter seeded by `seed` so
+    /// concurrent clients de-synchronize deterministically).
+    pub fn new(addr: impl Into<String>, seed: u64) -> Client {
+        Client {
+            addr: addr.into(),
+            backoff: Backoff::new(Duration::from_millis(50), Duration::from_secs(2), 6, seed),
+            reply_timeout: Duration::from_secs(300),
+        }
+    }
+
+    /// Overrides the retry schedule (tests use tight ones).
+    pub fn with_backoff(mut self, backoff: Backoff) -> Client {
+        self.backoff = backoff;
+        self
+    }
+
+    fn connect(&self) -> std::io::Result<(LineReader<TcpStream>, TcpStream)> {
+        let stream = TcpStream::connect(&self.addr)?;
+        stream.set_read_timeout(Some(self.reply_timeout))?;
+        stream.set_nodelay(true)?;
+        Ok((LineReader::new(stream.try_clone()?, MAX_LINE), stream))
+    }
+
+    fn roundtrip(&self, request: &str) -> std::io::Result<Reply> {
+        let (mut reader, mut stream) = self.connect()?;
+        writeln!(stream, "{request}")?;
+        stream.flush()?;
+        let line = reader
+            .read_line()?
+            .ok_or_else(|| bad("server closed the connection without replying"))?;
+        parse_reply(&line).map_err(bad)
+    }
+
+    /// Health check (`PING` → `PONG`), retrying connection failures —
+    /// also the way to wait for a server that is still starting.
+    pub fn ping(&self) -> std::io::Result<()> {
+        let mut attempt = 0;
+        loop {
+            match self.roundtrip("PING") {
+                Ok(Reply::Pong) => return Ok(()),
+                Ok(other) => return Err(bad(format!("expected PONG, got {other:?}"))),
+                Err(e) if retryable(&e) && attempt < self.backoff.max_retries() => {
+                    std::thread::sleep(self.backoff.delay(attempt));
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// The server's counters (`STATS`) as a map.
+    pub fn stats(&self) -> std::io::Result<BTreeMap<String, u64>> {
+        match self.roundtrip("STATS")? {
+            Reply::Stats(map) => Ok(map),
+            other => Err(bad(format!("expected STATS, got {other:?}"))),
+        }
+    }
+
+    /// Asks the server to drain and exit (`SHUTDOWN` → `BYE`).
+    pub fn shutdown(&self) -> std::io::Result<()> {
+        match self.roundtrip("SHUTDOWN")? {
+            Reply::Bye => Ok(()),
+            other => Err(bad(format!("expected BYE, got {other:?}"))),
+        }
+    }
+
+    /// Submits a sweep, retrying `BUSY` and transport failures with
+    /// backoff. Safe to call repeatedly with the same request: cells
+    /// are idempotent by content address.
+    pub fn sweep(&self, request: &SweepRequest) -> std::io::Result<SweepReply> {
+        let mut attempt = 0;
+        loop {
+            let give_up = attempt >= self.backoff.max_retries();
+            match self.try_sweep(request) {
+                Ok(Attempt::Reply(reply)) => return Ok(reply),
+                Ok(Attempt::Busy { .. }) if give_up => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::WouldBlock,
+                        format!("server still BUSY after {attempt} retries"),
+                    ))
+                }
+                Ok(Attempt::Busy { retry_after_ms }) => {
+                    // Respect the server's hint when it is longer than
+                    // our own schedule.
+                    let delay = self
+                        .backoff
+                        .delay(attempt)
+                        .max(Duration::from_millis(retry_after_ms));
+                    std::thread::sleep(delay);
+                    attempt += 1;
+                }
+                Err(e) if retryable(&e) && !give_up => {
+                    std::thread::sleep(self.backoff.delay(attempt));
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn try_sweep(&self, request: &SweepRequest) -> std::io::Result<Attempt> {
+        let (mut reader, mut stream) = self.connect()?;
+        let mut frame = String::new();
+        for line in request.to_lines() {
+            frame.push_str(&line);
+            frame.push('\n');
+        }
+        stream.write_all(frame.as_bytes())?;
+        stream.flush()?;
+
+        let mut outcomes: Vec<Option<CellOutcome>> = vec![None; request.cells.len()];
+        loop {
+            let line = reader
+                .read_line()?
+                .ok_or_else(|| bad("connection closed mid-reply"))?;
+            let place = |outcomes: &mut Vec<Option<CellOutcome>>,
+                         idx: usize,
+                         outcome: CellOutcome|
+             -> std::io::Result<()> {
+                let slot = outcomes
+                    .get_mut(idx)
+                    .ok_or_else(|| bad(format!("reply names out-of-range cell {idx}")))?;
+                *slot = Some(outcome);
+                Ok(())
+            };
+            match parse_reply(&line).map_err(bad)? {
+                Reply::Busy { retry_after_ms } => {
+                    return Ok(Attempt::Busy { retry_after_ms });
+                }
+                Reply::Bad(msg) => return Err(bad(format!("server rejected request: {msg}"))),
+                Reply::Result { idx, key, words } => {
+                    let spec = request
+                        .cells
+                        .get(idx)
+                        .ok_or_else(|| bad(format!("reply names out-of-range cell {idx}")))?;
+                    if !same_cell(&key, spec) {
+                        return Err(bad(format!(
+                            "cell {idx} reply is for {} — request/reply skew",
+                            key.identity()
+                        )));
+                    }
+                    let result = decode_result(&words, &key)
+                        .ok_or_else(|| bad(format!("cell {idx} record failed to decode")))?;
+                    place(&mut outcomes, idx, CellOutcome::Result(Box::new(result)))?;
+                }
+                Reply::Timeout { idx, msg } => {
+                    place(&mut outcomes, idx, CellOutcome::Timeout(msg))?;
+                }
+                Reply::Err { idx, msg } => {
+                    place(&mut outcomes, idx, CellOutcome::Err(msg))?;
+                }
+                Reply::Done(done) => {
+                    let outcomes: Option<Vec<CellOutcome>> = outcomes.into_iter().collect();
+                    let outcomes =
+                        outcomes.ok_or_else(|| bad("DONE before every cell was answered"))?;
+                    return Ok(Attempt::Reply(SweepReply { outcomes, done }));
+                }
+                other => {
+                    return Err(bad(format!("unexpected line in sweep reply: {other:?}")));
+                }
+            }
+        }
+    }
+}
+
+/// The reply record must be for the cell the request named. The server
+/// canonicalizes names (`icount` → `ICOUNT`), so compare
+/// case-insensitively.
+fn same_cell(key: &CellKey, spec: &crate::protocol::CellSpec) -> bool {
+    key.group.eq_ignore_ascii_case(&spec.group)
+        && key.mix.eq_ignore_ascii_case(&spec.mix)
+        && key.policy.eq_ignore_ascii_case(&spec.policy)
+        && key.seed == spec.seed
+}

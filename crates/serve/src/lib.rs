@@ -1,0 +1,24 @@
+//! # rat-serve — sim-as-a-service for the RaT reproduction
+//!
+//! A persistent sweep server and retrying client over a line-based TCP
+//! protocol. The server owns the result journal
+//! ([`rat_core::ResultStore`]): warm cells are answered from memory,
+//! cold cells run on the crash-safe sweep engine and are journaled the
+//! moment they complete — so restarts (graceful or `kill -9`) only
+//! cost in-flight work, and resubmitting a batch is nearly free.
+//!
+//! The failure model is explicit, and every piece of it is tested:
+//! requests carry deadlines (partial results plus `TIMEOUT` lines),
+//! overload is shed with `BUSY` (the client retries with seeded
+//! backoff), a panicking worker costs one `ERR` line, and
+//! `SHUTDOWN`/SIGTERM drains gracefully. See [`protocol`] for the wire
+//! grammar, [`server::Server`] and [`client::Client`] for the two
+//! ends, and the `rat-serve`/`rat-client` binaries for the CLI.
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::{CellOutcome, Client, SweepReply};
+pub use protocol::{CellSpec, SweepRequest, MAX_CELLS, MAX_LINE};
+pub use server::{install_sigterm_handler, Server, ServerConfig};

@@ -13,6 +13,8 @@
 //! Every fault is driven by [`rat_core::FaultPlan`] — the recovery paths
 //! are exercised on purpose, not trusted.
 
+use std::sync::Arc;
+
 use rat_bench::{run_cells, SweepCell, SweepSession};
 use rat_core::smt::{PolicyKind, SmtConfig};
 use rat_core::store::encode_result;
@@ -88,8 +90,8 @@ fn injected_panics_fail_only_their_cells() {
     let runner = tiny_runner();
     let cells = cell_grid(&runner);
     let session = SweepSession {
-        store: None,
         fault_plan: Some(FaultPlan::parse("panic@3,panic@7").unwrap()),
+        ..SweepSession::none()
     };
     let report = run_cells(&cells, 0, &session);
 
@@ -123,16 +125,17 @@ fn resume_recomputes_only_missing_and_is_bit_identical() {
     let clean = run_cells(&cells, 0, &SweepSession::none());
 
     let faulted = SweepSession {
-        store: Some(ResultStore::open(&path)),
+        store: Some(Arc::new(ResultStore::open(&path))),
         fault_plan: Some(FaultPlan::parse("panic@1,panic@8").unwrap()),
+        ..SweepSession::none()
     };
     let first = run_cells(&cells, 0, &faulted);
     assert_eq!(first.failures.len(), 2);
     assert_eq!(first.computed, cells.len() - 2);
 
     let resumed = SweepSession {
-        store: Some(ResultStore::open(&path)),
-        fault_plan: None,
+        store: Some(Arc::new(ResultStore::open(&path))),
+        ..SweepSession::none()
     };
     let second = run_cells(&cells, 0, &resumed);
     assert!(second.failures.is_empty());
@@ -164,8 +167,8 @@ fn corrupt_records_are_quarantined_and_recomputed() {
     let cell_keys = keys(&cells);
 
     let session = SweepSession {
-        store: Some(ResultStore::open(&path)),
-        fault_plan: None,
+        store: Some(Arc::new(ResultStore::open(&path))),
+        ..SweepSession::none()
     };
     let clean = run_cells(&cells, 0, &session);
     drop(session);
@@ -190,8 +193,8 @@ fn corrupt_records_are_quarantined_and_recomputed() {
     );
 
     let resumed = SweepSession {
-        store: Some(store),
-        fault_plan: None,
+        store: Some(Arc::new(store)),
+        ..SweepSession::none()
     };
     let second = run_cells(&cells, 0, &resumed);
     assert!(second.failures.is_empty());
@@ -224,11 +227,11 @@ fn torn_and_flipped_appends_never_replay() {
     let runner = tiny_runner();
     let cells = cell_grid(&runner);
 
-    let mut store = ResultStore::open(&path);
+    let store = ResultStore::open(&path);
     store.set_fault_plan(FaultPlan::parse("torn@0,flip@3").unwrap());
     let session = SweepSession {
-        store: Some(store),
-        fault_plan: None,
+        store: Some(Arc::new(store)),
+        ..SweepSession::none()
     };
     let first = run_cells(&cells, 0, &session);
     assert!(
@@ -247,8 +250,8 @@ fn torn_and_flipped_appends_never_replay() {
     assert_eq!(stats.quarantined, 2, "the torn and the flipped record");
 
     let resumed = SweepSession {
-        store: Some(reopened),
-        fault_plan: None,
+        store: Some(Arc::new(reopened)),
+        ..SweepSession::none()
     };
     let second = run_cells(&cells, 0, &resumed);
     assert!(second.failures.is_empty());
@@ -261,8 +264,11 @@ fn torn_and_flipped_appends_never_replay() {
     }
 }
 
-/// A journal that cannot grow (simulated ENOSPC) degrades gracefully:
-/// the sweep still completes and the unjournaled cell recomputes later.
+/// A journal that *stays* full (simulated ENOSPC on every retry
+/// attempt) degrades gracefully: the append is retried, given up on,
+/// counted — and the sweep still completes, with the unjournaled cell
+/// recomputed later. The plan faults four consecutive append attempts
+/// because `put` makes 1 + 3 retries before counting a failure.
 #[test]
 fn enospc_on_append_is_non_fatal() {
     let path = tmp_path("enospc");
@@ -270,11 +276,11 @@ fn enospc_on_append_is_non_fatal() {
     let runner = tiny_runner();
     let cells = cell_grid(&runner);
 
-    let mut store = ResultStore::open(&path);
-    store.set_fault_plan(FaultPlan::parse("enospc@2").unwrap());
+    let store = ResultStore::open(&path);
+    store.set_fault_plan(FaultPlan::parse("enospc@2,enospc@3,enospc@4,enospc@5").unwrap());
     let session = SweepSession {
-        store: Some(store),
-        fault_plan: None,
+        store: Some(Arc::new(store)),
+        ..SweepSession::none()
     };
     let first = run_cells(&cells, 0, &session);
     assert!(
@@ -282,20 +288,59 @@ fn enospc_on_append_is_non_fatal() {
         "a failed append never fails the cell"
     );
     assert!(first.results.iter().all(Option::is_some));
+    let stats = session.store.as_ref().unwrap().stats();
     assert_eq!(
-        session.store.as_ref().unwrap().stats().append_failures,
-        1,
+        stats.append_failures, 1,
         "the swallowed append is counted, not hidden"
     );
+    assert_eq!(stats.retries, 3, "every retry attempt was made and counted");
     drop(session);
 
     let resumed = SweepSession {
-        store: Some(ResultStore::open(&path)),
-        fault_plan: None,
+        store: Some(Arc::new(ResultStore::open(&path))),
+        ..SweepSession::none()
     };
     let second = run_cells(&cells, 0, &resumed);
     assert_eq!(second.replayed, cells.len() - 1);
     assert_eq!(second.computed, 1, "only the unjournaled cell recomputes");
+    for (a, b) in first.results.iter().zip(&second.results) {
+        assert_eq!(
+            encode_result(a.as_ref().unwrap()),
+            encode_result(b.as_ref().unwrap())
+        );
+    }
+}
+
+/// A *transient* ENOSPC — one failed attempt with space back by the
+/// retry — must cost nothing: the retry lands the record, the journal
+/// stays complete, and only the retry counter betrays the incident.
+#[test]
+fn transient_enospc_is_healed_by_retry() {
+    let path = tmp_path("transient");
+    let _cleanup = Cleanup(vec![path.clone(), path.with_extension("quarantine")]);
+    let runner = tiny_runner();
+    let cells = cell_grid(&runner);
+
+    let store = ResultStore::open(&path);
+    store.set_fault_plan(FaultPlan::parse("enospc@2").unwrap());
+    let session = SweepSession {
+        store: Some(Arc::new(store)),
+        ..SweepSession::none()
+    };
+    let first = run_cells(&cells, 0, &session);
+    assert!(first.failures.is_empty());
+    let stats = session.store.as_ref().unwrap().stats();
+    assert_eq!(stats.append_failures, 0, "the retry healed the append");
+    assert_eq!(stats.retries, 1, "but the incident is still visible");
+    drop(session);
+
+    let resumed = SweepSession {
+        store: Some(Arc::new(ResultStore::open(&path))),
+        ..SweepSession::none()
+    };
+    let second = run_cells(&cells, 0, &resumed);
+    assert_eq!(second.replayed, cells.len(), "nothing was lost");
+    assert_eq!(second.computed, 0);
     for (a, b) in first.results.iter().zip(&second.results) {
         assert_eq!(
             encode_result(a.as_ref().unwrap()),
@@ -322,8 +367,8 @@ fn seeded_plans_are_deterministic() {
     let cells = cell_grid(&runner);
     let predicted: Vec<usize> = (0..cells.len()).filter(|&i| a.should_panic(i)).collect();
     let session = SweepSession {
-        store: None,
         fault_plan: Some(a),
+        ..SweepSession::none()
     };
     let report = run_cells(&cells, 0, &session);
     let failed: Vec<usize> = report.failures.iter().map(|f| f.index).collect();
