@@ -10,10 +10,29 @@
 //! contending), and RaT / ICOUNT / FLUSH
 //! coverage on the ILP and MIX groups so gains outside the tracked
 //! memory-bound cells stay visible — prints a table, and
-//! writes the results to a JSON artifact (default `BENCH_6.json`) of
+//! writes the results to a JSON artifact (default `BENCH_7.json`) of
 //! the form
 //! `{bench_name: {"wall_ms": .., "cycles_simulated": .., "cycles_per_sec": ..}}`
 //! so the perf trajectory is tracked in the repository.
+//!
+//! Three further regime families time the sweep layer rather than one
+//! simulation:
+//!
+//! * `sweep12_batch{1,4,8}` run a fig1-style 12-cell matrix
+//!   ({ILP4, MEM4, MIX4} × {ICOUNT, STALL, FLUSH, RaT}, first mix) on
+//!   one worker thread through [`rat_bench::run_cells`] at the given
+//!   `--batch` width, at a fortieth of the configured quota — the regime
+//!   that makes per-cell setup (workload-image generation) a visible
+//!   fraction of the sweep, which is exactly what the lockstep batch
+//!   engine amortizes. Results are bit-identical across widths, so the
+//!   cycles/sec ratio *is* the orchestration speedup.
+//! * `sweep12_batch8_noshare` / `sweep12_batch8_scalargen` are the
+//!   ablation cells: the same batch-8 sweep with the image cache or the
+//!   wide generator disabled, isolating each lever's contribution.
+//! * `gen_scalar` / `gen_wide` time raw workload-image generation over
+//!   every benchmark profile; for these cells `cycles_simulated` counts
+//!   resident 64-bit memory words generated (there is no simulation),
+//!   so cycles/sec reads as words/sec.
 //!
 //! The simulated *numbers* are identical with and without `noskip` /
 //! `noreplay` (enforced by `tests/cycle_skip.rs` and
@@ -35,9 +54,10 @@
 
 use std::time::Instant;
 
-use rat_bench::TableWriter;
+use rat_bench::{run_batch, run_cells, BatchOptions, SweepCell, SweepSession, TableWriter};
+use rat_core::{RunConfig, Runner};
 use rat_smt::{PolicyKind, SmtConfig, SmtSimulator};
-use rat_workload::{mixes_for_group, ThreadImage, WorkloadGroup};
+use rat_workload::{mixes_for_group, ThreadImage, WorkloadGroup, ALL_BENCHMARKS};
 
 /// One benchmark cell: a Table 2 mix under a policy, with or without
 /// cycle skipping / fetch replay / post-quota drain.
@@ -165,7 +185,7 @@ fn parse_args() -> Args {
         insts: 30_000,
         warmup: 20_000,
         seed: 42,
-        out: "BENCH_6.json".to_string(),
+        out: "BENCH_7.json".to_string(),
         compare: None,
         tolerance: 25.0,
         smoke: false,
@@ -244,6 +264,168 @@ fn run_bench(s: &BenchSpec, args: &Args) -> BenchResult {
         skipped: sim.stats().skipped_cycles,
         replayed: sim.stats().fetch_replays,
         committed: sim.stats().threads.iter().map(|t| t.committed).sum::<u64>(),
+    }
+}
+
+/// The sweep regimes run at a fortieth of the single-cell quota: a
+/// many-small-cells sweep (the `--quick` figure-sweep shape) is where
+/// per-cell setup is a measurable slice of the wall clock, which is
+/// the overhead the batch engine exists to amortize (at full quota the
+/// simulation loop drowns it below the timing noise).
+fn sweep_runner(args: &Args) -> Runner {
+    Runner::new(
+        SmtConfig::hpca2008_baseline(),
+        RunConfig {
+            insts_per_thread: (args.insts / 40).max(1),
+            warmup_insts: (args.warmup / 40).max(1),
+            seed: args.seed,
+            ..RunConfig::default()
+        },
+    )
+}
+
+/// The fig1-style 12-cell matrix the sweep regimes time.
+fn sweep_cells(runner: &Runner) -> Vec<SweepCell<'_>> {
+    let groups = [
+        WorkloadGroup::Ilp4,
+        WorkloadGroup::Mem4,
+        WorkloadGroup::Mix4,
+    ];
+    let policies = [
+        PolicyKind::Icount,
+        PolicyKind::Stall,
+        PolicyKind::Flush,
+        PolicyKind::Rat,
+    ];
+    let mut cells = Vec::new();
+    for g in groups {
+        let mix = mixes_for_group(g)[0].clone();
+        for p in policies {
+            cells.push(SweepCell {
+                runner,
+                mix: mix.clone(),
+                policy: p,
+            });
+        }
+    }
+    cells
+}
+
+/// Folds a sweep's results into one [`BenchResult`] row. The simulated
+/// numbers are bit-identical at every batch width, so two rows' cycle
+/// counts always match and their cycles/sec ratio is purely the
+/// orchestration (setup amortization) speedup.
+fn sweep_result(
+    name: &'static str,
+    results: Vec<Option<rat_core::MixResult>>,
+    wall: std::time::Duration,
+) -> BenchResult {
+    let mut cycles = 0u64;
+    let mut committed = 0u64;
+    for r in results.iter().map(|r| r.as_ref().expect("cell completed")) {
+        cycles += r.cycles;
+        committed += r.thread_stats.iter().map(|t| t.committed).sum::<u64>();
+    }
+    BenchResult {
+        name,
+        wall_ms: wall.as_secs_f64() * 1e3,
+        cycles,
+        cycles_per_sec: cycles as f64 / wall.as_secs_f64().max(1e-9),
+        skipped: 0,
+        replayed: 0,
+        committed,
+    }
+}
+
+/// Times the 12-cell matrix through the production sweep path
+/// ([`run_cells`], one worker thread) at the given `--batch` width.
+/// Best of three repetitions (results are identical each rep, so only
+/// the wall clock varies): one rep's scheduling noise is on the order
+/// of the setup cost the regimes measure.
+fn run_sweep_bench(name: &'static str, batch: usize, args: &Args) -> BenchResult {
+    let runner = sweep_runner(args);
+    let cells = sweep_cells(&runner);
+    let session = SweepSession {
+        batch,
+        ..SweepSession::none()
+    };
+    let reps = if args.smoke { 1 } else { 3 };
+    let mut best: Option<(Vec<Option<rat_core::MixResult>>, std::time::Duration)> = None;
+    for _ in 0..reps {
+        let started = Instant::now();
+        let report = run_cells(&cells, 1, &session);
+        let wall = started.elapsed();
+        assert!(report.failures.is_empty(), "sweep bench cell failed");
+        if best.as_ref().is_none_or(|(_, w)| wall < *w) {
+            best = Some((report.results, wall));
+        }
+    }
+    let (results, wall) = best.unwrap();
+    sweep_result(name, results, wall)
+}
+
+/// Times the 12-cell matrix through the batch engine directly with one
+/// amortization lever disabled — the ablation cells. Best of three
+/// repetitions, like [`run_sweep_bench`].
+fn run_sweep_ablation(name: &'static str, opts: BatchOptions, args: &Args) -> BenchResult {
+    let runner = sweep_runner(args);
+    let cells = sweep_cells(&runner);
+    let queue: Vec<usize> = (0..cells.len()).collect();
+    let reps = if args.smoke { 1 } else { 3 };
+    let mut best: Option<(Vec<Option<rat_core::MixResult>>, std::time::Duration)> = None;
+    for _ in 0..reps {
+        let mut results: Vec<Option<rat_core::MixResult>> = vec![None; cells.len()];
+        let started = Instant::now();
+        run_batch(
+            &cells,
+            &queue,
+            &opts,
+            None,
+            None,
+            None,
+            &mut |ci, outcome| {
+                results[ci] = Some(outcome.expect("sweep bench cell failed"));
+            },
+        );
+        let wall = started.elapsed();
+        if best.as_ref().is_none_or(|(_, w)| wall < *w) {
+            best = Some((results, wall));
+        }
+    }
+    let (results, wall) = best.unwrap();
+    sweep_result(name, results, wall)
+}
+
+/// Times raw workload-image generation over every benchmark profile.
+/// `cycles_simulated` counts resident memory words generated, so the
+/// scalar/wide ratio reads directly as the generator speedup.
+fn run_gen_bench(name: &'static str, wide: bool, args: &Args) -> BenchResult {
+    let reps: u64 = if args.smoke { 1 } else { 3 };
+    let mut words = 0u64;
+    let mut images = 0u64;
+    let started = Instant::now();
+    for rep in 0..reps {
+        for &b in ALL_BENCHMARKS {
+            let seed = args.seed + rep;
+            let img = if wide {
+                ThreadImage::generate_wide(b, seed)
+            } else {
+                ThreadImage::generate(b, seed)
+            };
+            words += img.memory_words();
+            images += 1;
+            std::hint::black_box(&img);
+        }
+    }
+    let wall = started.elapsed();
+    BenchResult {
+        name,
+        wall_ms: wall.as_secs_f64() * 1e3,
+        cycles: words,
+        cycles_per_sec: words as f64 / wall.as_secs_f64().max(1e-9),
+        skipped: 0,
+        replayed: 0,
+        committed: images,
     }
 }
 
@@ -347,7 +529,34 @@ fn main() {
         eprintln!("perfbench: --smoke run (tiny quota; timings are not meaningful)");
     }
 
-    let results: Vec<BenchResult> = BENCHES.iter().map(|s| run_bench(s, &args)).collect();
+    let mut results: Vec<BenchResult> = BENCHES.iter().map(|s| run_bench(s, &args)).collect();
+    // One untimed sweep first: the sweep regimes have a much larger
+    // allocation footprint than the single-cell benches above, and the
+    // first one otherwise pays one-time page-fault/frequency-ramp costs
+    // that would bias the batch1-vs-batchN ratios.
+    std::hint::black_box(run_sweep_bench("sweep_warmup", 8, &args));
+    results.push(run_sweep_bench("sweep12_batch1", 1, &args));
+    results.push(run_sweep_bench("sweep12_batch4", 4, &args));
+    results.push(run_sweep_bench("sweep12_batch8", 8, &args));
+    results.push(run_sweep_ablation(
+        "sweep12_batch8_noshare",
+        BatchOptions {
+            share_images: false,
+            ..BatchOptions::new(8)
+        },
+        &args,
+    ));
+    results.push(run_sweep_ablation(
+        "sweep12_batch8_scalargen",
+        BatchOptions {
+            wide_gen: false,
+            ..BatchOptions::new(8)
+        },
+        &args,
+    ));
+    results.push(run_gen_bench("gen_scalar", false, &args));
+    results.push(run_gen_bench("gen_wide", true, &args));
+    let results = results;
 
     let mut t = TableWriter::new(&[
         "bench",
@@ -406,6 +615,30 @@ fn main() {
         "mix4_rat",
         "mix4_rat_nodrain",
         "MIX4, RaT, post-quota drain",
+    );
+    speedup_line(
+        &results,
+        "sweep12_batch8",
+        "sweep12_batch1",
+        "12-cell sweep, lockstep batch 8",
+    );
+    speedup_line(
+        &results,
+        "sweep12_batch8",
+        "sweep12_batch8_noshare",
+        "batch 8, image-cache ablation",
+    );
+    speedup_line(
+        &results,
+        "sweep12_batch8",
+        "sweep12_batch8_scalargen",
+        "batch 8, wide-generator ablation",
+    );
+    speedup_line(
+        &results,
+        "gen_wide",
+        "gen_scalar",
+        "image generation, wide RNG",
     );
 
     let json = to_json(&results);

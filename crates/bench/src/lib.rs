@@ -16,13 +16,15 @@
 //! kill, and `--fault-plan` drives the deterministic fault-injection
 //! harness that tests all of the above.
 
+pub mod batch;
 pub mod cli;
 pub mod sweep;
 pub mod table;
 
+pub use batch::{run_batch, BatchOptions};
 pub use cli::HarnessArgs;
 pub use sweep::{
-    emit_truncation_note, mark_row_label, policy_matrix, report_failures, run_cells, select_mixes,
-    CellFailure, SweepCell, SweepReport, SweepSession,
+    emit_truncation_note, mark_row_label, policy_matrix, report_failures, run_cells,
+    run_cells_streaming, select_mixes, CellFailure, SweepCell, SweepReport, SweepSession,
 };
 pub use table::TableWriter;

@@ -1,0 +1,57 @@
+//! Bin-level batch determinism (ISSUE 10 acceptance criterion): the
+//! figure binaries' CSV output must be byte-identical at any `--batch`
+//! width — the same check CI runs as a smoke test, here against two
+//! binaries and three widths.
+
+use std::process::Command;
+
+const SWEEP_ARGS: [&str; 11] = [
+    "--mixes",
+    "2",
+    "--insts",
+    "3000",
+    "--warmup",
+    "1000",
+    "--threads",
+    "1",
+    "--csv",
+    "--policies",
+    "icount,rat",
+];
+
+fn csv_at(bin: &str, batch: &str) -> Vec<u8> {
+    let exe = match bin {
+        "fig1" => env!("CARGO_BIN_EXE_fig1"),
+        "fig3" => env!("CARGO_BIN_EXE_fig3"),
+        other => panic!("unknown bin {other}"),
+    };
+    let out = Command::new(exe)
+        .args(SWEEP_ARGS)
+        .args(["--batch", batch])
+        .output()
+        .unwrap_or_else(|e| panic!("{bin} --batch {batch}: {e}"));
+    assert!(out.status.success(), "{bin} --batch {batch} failed");
+    assert!(!out.stdout.is_empty(), "{bin} produced no output");
+    out.stdout
+}
+
+#[test]
+fn fig1_csv_is_byte_identical_at_any_batch_width() {
+    let plain = csv_at("fig1", "1");
+    for width in ["2", "8"] {
+        assert_eq!(
+            plain,
+            csv_at("fig1", width),
+            "fig1 --batch {width} must match --batch 1 byte for byte"
+        );
+    }
+}
+
+#[test]
+fn fig3_csv_is_byte_identical_at_batch_8() {
+    assert_eq!(
+        csv_at("fig3", "1"),
+        csv_at("fig3", "8"),
+        "fig3 --batch 8 must match --batch 1 byte for byte"
+    );
+}

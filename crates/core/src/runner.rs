@@ -4,6 +4,7 @@ use std::collections::{BTreeSet, HashMap};
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
+use rat_isa::Cpu;
 use rat_mem::MemEventStats;
 use rat_smt::{PolicyKind, SmtConfig, SmtSimulator, ThreadStats};
 use rat_workload::{Benchmark, Mix, ThreadImage};
@@ -115,6 +116,96 @@ pub struct GroupSummary {
     /// quota: their IPCs come from a truncated window, so rows built on
     /// this summary should be marked (the figure binaries append `*`).
     pub incomplete: usize,
+}
+
+/// Cycles simulated between watchdog/scheduler checks (~0.1 s of wall
+/// clock at the simulator's typical Mcycles/s). Both the `--cell-timeout`
+/// watchdog and the batch engine's lockstep round-robin use this as
+/// their scheduling quantum.
+pub const SLICE_CYCLES: u64 = 100_000;
+
+/// Which phase a [`MixRun`] is in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum MixPhase {
+    /// Full-fidelity cache/predictor warmup; statistics are discarded.
+    Warmup,
+    /// The measurement window (post-quota drain active unless
+    /// `no_drain`).
+    Measure,
+    /// Finished; `step` must not be called again.
+    Done,
+}
+
+/// What one [`MixRun::step`] produced.
+pub enum StepOutcome {
+    /// The run needs more slices.
+    Running,
+    /// The run completed (quota reached, or `max_cycles` exhausted —
+    /// the result's `complete` flag distinguishes them).
+    Finished(MixResult),
+}
+
+/// An in-flight simulation of one mix under one policy, advanced in
+/// caller-bounded cycle slices — the resumable form of
+/// [`Runner::run_mix`]. Slicing is free: `run_until_quota` is resumable,
+/// so the finished [`MixResult`] is bit-identical at any slice schedule
+/// (the property the `--cell-timeout` watchdog already relied on, now
+/// shared with the batch engine's lockstep scheduler).
+pub struct MixRun<'a> {
+    runner: &'a Runner,
+    sim: SmtSimulator,
+    mix: Mix,
+    policy: PolicyKind,
+    phase: MixPhase,
+    /// Cycles left in the current phase's `max_cycles` budget.
+    cycles_left: u64,
+}
+
+impl MixRun<'_> {
+    /// Advances the simulation by at most `slice_cycles` (clamped to the
+    /// phase's remaining `max_cycles` budget). Phase transitions happen
+    /// between slices, exactly where the unsliced runner puts them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called again after returning
+    /// [`StepOutcome::Finished`].
+    pub fn step(&mut self, slice_cycles: u64) -> StepOutcome {
+        let quota = match self.phase {
+            MixPhase::Warmup => self.runner.run.warmup_insts,
+            MixPhase::Measure => self.runner.run.insts_per_thread,
+            MixPhase::Done => panic!("MixRun::step after Finished"),
+        };
+        let slice = slice_cycles.min(self.cycles_left);
+        let reached = self.sim.run_until_quota(quota, slice);
+        self.cycles_left = self.cycles_left.saturating_sub(slice);
+        match self.phase {
+            MixPhase::Warmup => {
+                // Warmup that exhausts max_cycles proceeds to the
+                // measurement window regardless (as in the unsliced
+                // runner); only the measurement phase sets `complete`.
+                if reached || self.cycles_left == 0 {
+                    self.sim.reset_stats();
+                    self.sim.set_quota_drain(!self.runner.run.no_drain);
+                    self.phase = MixPhase::Measure;
+                    self.cycles_left = self.runner.run.max_cycles;
+                }
+                StepOutcome::Running
+            }
+            MixPhase::Measure => {
+                if reached || self.cycles_left == 0 {
+                    self.phase = MixPhase::Done;
+                    let r = self
+                        .runner
+                        .finish_mix(&self.sim, &self.mix, self.policy, reached);
+                    StepOutcome::Finished(r)
+                } else {
+                    StepOutcome::Running
+                }
+            }
+            MixPhase::Done => unreachable!(),
+        }
+    }
 }
 
 /// Runs experiments and caches single-thread reference IPCs.
@@ -309,17 +400,53 @@ impl Runner {
     }
 
     fn build_sim(&self, benches: &[Benchmark], policy: PolicyKind, seed: u64) -> SmtSimulator {
-        let mut cfg = self.smt;
-        cfg.policy = policy;
         let cpus = benches
             .iter()
             .enumerate()
             .map(|(i, &b)| ThreadImage::generate(b, seed + i as u64).build_cpu())
             .collect();
+        self.sim_from_cpus(policy, cpus)
+    }
+
+    fn sim_from_cpus(&self, policy: PolicyKind, cpus: Vec<Cpu>) -> SmtSimulator {
+        let mut cfg = self.smt;
+        cfg.policy = policy;
         let mut sim = SmtSimulator::new(cfg, cpus);
         sim.set_cycle_skip(!self.run.no_skip);
         sim.set_fetch_replay(!self.run.no_replay);
         sim
+    }
+
+    /// Starts `mix` under `policy` as a resumable [`MixRun`]: the caller
+    /// advances it in bounded cycle slices with [`MixRun::step`]. The
+    /// finished result is bit-identical to [`Runner::run_mix`] at any
+    /// slicing (`run_until_quota` is resumable; `tests/cell_timeout.rs`
+    /// and `tests/batch_lockstep.rs` enforce this), which is what lets
+    /// the batch engine round-robin many cells on one thread.
+    pub fn begin_mix(&self, mix: &Mix, policy: PolicyKind) -> MixRun<'_> {
+        let sim = self.build_sim(&mix.benchmarks, policy, self.run.seed);
+        self.mix_run(sim, mix, policy)
+    }
+
+    /// [`Runner::begin_mix`] over caller-built CPU contexts. For a
+    /// bit-identical run, `cpus` must be what [`ThreadImage::generate`]
+    /// `(bench_i, seed + i)` + `build_cpu()` would produce — the batch
+    /// engine guarantees that by building from a cache of exactly those
+    /// images (generated via the bit-identical wide path).
+    pub fn begin_mix_with_cpus(&self, mix: &Mix, policy: PolicyKind, cpus: Vec<Cpu>) -> MixRun<'_> {
+        let sim = self.sim_from_cpus(policy, cpus);
+        self.mix_run(sim, mix, policy)
+    }
+
+    fn mix_run(&self, sim: SmtSimulator, mix: &Mix, policy: PolicyKind) -> MixRun<'_> {
+        MixRun {
+            runner: self,
+            sim,
+            mix: mix.clone(),
+            policy,
+            phase: MixPhase::Warmup,
+            cycles_left: self.run.max_cycles,
+        }
     }
 
     /// Simulates `mix` under `policy`: warmup, stats reset, measurement
@@ -330,12 +457,13 @@ impl Runner {
     /// would squash the warm pipeline state that warmup exists to
     /// build, and the warmup overshoot is small anyway.
     pub fn run_mix(&self, mix: &Mix, policy: PolicyKind) -> MixResult {
-        let mut sim = self.build_sim(&mix.benchmarks, policy, self.run.seed);
-        sim.run_until_quota(self.run.warmup_insts, self.run.max_cycles);
-        sim.reset_stats();
-        sim.set_quota_drain(!self.run.no_drain);
-        let complete = sim.run_until_quota(self.run.insts_per_thread, self.run.max_cycles);
-        self.finish_mix(&sim, mix, policy, complete)
+        let mut run = self.begin_mix(mix, policy);
+        loop {
+            // One maximal slice per phase: exactly the unsliced calls.
+            if let StepOutcome::Finished(r) = run.step(u64::MAX) {
+                return r;
+            }
+        }
     }
 
     /// [`Runner::run_mix`] under a wall-clock watchdog: the simulation
@@ -358,33 +486,17 @@ impl Runner {
         let Some(budget) = budget else {
             return Ok(self.run_mix(mix, policy));
         };
-        /// Cycles simulated between watchdog checks (~0.1 s of wall
-        /// clock at the simulator's typical Mcycles/s).
-        const SLICE_CYCLES: u64 = 100_000;
         let started = std::time::Instant::now();
-        let mut sim = self.build_sim(&mix.benchmarks, policy, self.run.seed);
-        let phase = |sim: &mut SmtSimulator, quota: u64| -> Result<bool, std::time::Duration> {
-            let mut remaining = self.run.max_cycles;
-            loop {
-                let elapsed = started.elapsed();
-                if elapsed >= budget {
-                    return Err(elapsed);
-                }
-                let slice = SLICE_CYCLES.min(remaining);
-                if sim.run_until_quota(quota, slice) {
-                    return Ok(true);
-                }
-                remaining -= slice;
-                if remaining == 0 {
-                    return Ok(false);
-                }
+        let mut run = self.begin_mix(mix, policy);
+        loop {
+            let elapsed = started.elapsed();
+            if elapsed >= budget {
+                return Err(elapsed);
             }
-        };
-        phase(&mut sim, self.run.warmup_insts)?;
-        sim.reset_stats();
-        sim.set_quota_drain(!self.run.no_drain);
-        let complete = phase(&mut sim, self.run.insts_per_thread)?;
-        Ok(self.finish_mix(&sim, mix, policy, complete))
+            if let StepOutcome::Finished(r) = run.step(SLICE_CYCLES) {
+                return Ok(r);
+            }
+        }
     }
 
     /// Collects a finished simulation into a [`MixResult`] (warning on a

@@ -3,9 +3,12 @@
 //! One process owns the shared [`ResultStore`] journal and serves
 //! `SWEEP` batches over TCP: warm cells (already journaled) are
 //! answered from memory, cold cells fan out over the crash-safe sweep
-//! engine ([`rat_bench::run_cells`]) and are journaled the moment they
-//! complete — so a killed-and-restarted server resumes warm, and a
-//! resubmitted batch is served mostly from cache.
+//! engine ([`rat_bench::run_cells_streaming`], optionally through the
+//! lockstep batch engine at `--batch N`) and are journaled the moment
+//! they complete — so a killed-and-restarted server resumes warm, and a
+//! resubmitted batch is served mostly from cache. Each cell's `RESULT`
+//! line is written as the cell finishes (progressive delivery), with
+//! failure lines and the `DONE` summary after the sweep settles.
 //!
 //! Robustness properties (each tested in `tests/service.rs`):
 //!
@@ -31,10 +34,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use rat_bench::{run_cells, SweepCell, SweepSession};
+use rat_bench::{run_cells_streaming, SweepCell, SweepSession};
 use rat_core::store::encode_result;
-use rat_core::{format_record_line, lock_recover, CellErrorKind, CellKey, FaultPlan};
-use rat_core::{ResultStore, RunConfig, Runner};
+use rat_core::{format_record_line, lock_recover, CellErrorKind, CellKey, FaultPlan, MixResult};
+use rat_core::{CellError, ResultStore, RunConfig, Runner};
 use rat_smt::{PolicyKind, SmtConfig};
 use rat_workload::Mix;
 
@@ -86,6 +89,10 @@ pub struct ServerConfig {
     pub cell_timeout: Option<Duration>,
     /// Worker threads per sweep (`0` = all cores).
     pub threads: usize,
+    /// Lockstep batch width per sweep worker (`1` = plain per-cell
+    /// path). Results are bit-identical at any width; wider batches
+    /// amortize workload-image generation across a request's cells.
+    pub batch: usize,
     /// Injected worker faults (tests/drills): panics indexed by
     /// position in each request's cold-cell list.
     pub fault_plan: Option<FaultPlan>,
@@ -100,6 +107,7 @@ impl Default for ServerConfig {
             retry_after_ms: 200,
             cell_timeout: None,
             threads: 0,
+            batch: 1,
             fault_plan: None,
         }
     }
@@ -326,7 +334,15 @@ fn handle_conn(stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_millis(300)))?;
     stream.set_nodelay(true)?;
     let mut reader = LineReader::new(stream.try_clone()?, MAX_LINE);
-    let mut writer = std::io::BufWriter::new(stream);
+    // Behind a mutex so sweep workers can stream `RESULT` lines the
+    // moment their cells complete (see `run_sweep`).
+    let writer = Mutex::new(std::io::BufWriter::new(stream));
+    let send = |line: std::fmt::Arguments<'_>| -> std::io::Result<()> {
+        let mut w = lock_recover(&writer);
+        w.write_fmt(line)?;
+        w.write_all(b"\n")?;
+        w.flush()
+    };
     loop {
         if shared.draining() {
             return Ok(());
@@ -337,8 +353,7 @@ fn handle_conn(stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<()> {
             Err(e) if is_timeout(&e) => continue, // idle keep-alive; poll drain
             Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
                 shared.counters.bad.fetch_add(1, Ordering::Relaxed);
-                writeln!(writer, "BAD {e}")?;
-                return writer.flush();
+                return send(format_args!("BAD {e}"));
             }
             Err(e) => return Err(e),
         };
@@ -346,24 +361,20 @@ fn handle_conn(stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<()> {
             Ok(r) => r,
             Err(msg) => {
                 shared.counters.bad.fetch_add(1, Ordering::Relaxed);
-                writeln!(writer, "BAD {msg}")?;
-                writer.flush()?;
+                send(format_args!("BAD {msg}"))?;
                 // A peer this confused gets a fresh connection.
                 return Ok(());
             }
         };
         match request {
             Request::Ping => {
-                writeln!(writer, "PONG")?;
-                writer.flush()?;
+                send(format_args!("PONG"))?;
             }
             Request::Stats => {
-                writeln!(writer, "{}", shared.stats_line())?;
-                writer.flush()?;
+                send(format_args!("{}", shared.stats_line()))?;
             }
             Request::Shutdown => {
-                writeln!(writer, "BYE")?;
-                writer.flush()?;
+                send(format_args!("BYE"))?;
                 shared.shutdown.store(true, Ordering::SeqCst);
                 return Ok(());
             }
@@ -375,8 +386,7 @@ fn handle_conn(stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<()> {
                     Ok(cells) => cells,
                     Err(msg) => {
                         shared.counters.bad.fetch_add(1, Ordering::Relaxed);
-                        writeln!(writer, "BAD {msg}")?;
-                        return writer.flush();
+                        return send(format_args!("BAD {msg}"));
                     }
                 };
                 // The deadline clock starts at receipt, before any
@@ -386,17 +396,16 @@ fn handle_conn(stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<()> {
                     .map(|ms| Instant::now() + Duration::from_millis(ms));
                 if !shared.try_admit() {
                     shared.counters.busy.fetch_add(1, Ordering::Relaxed);
-                    writeln!(writer, "BUSY retry_after_ms={}", shared.cfg.retry_after_ms)?;
-                    writer.flush()?;
+                    send(format_args!(
+                        "BUSY retry_after_ms={}",
+                        shared.cfg.retry_after_ms
+                    ))?;
                     continue;
                 }
                 shared.counters.sweeps.fetch_add(1, Ordering::Relaxed);
-                let reply = run_sweep(shared, &head, &cells, deadline);
+                let outcome = run_sweep(shared, &head, &cells, deadline, &writer);
                 shared.active.fetch_sub(1, Ordering::SeqCst);
-                for line in reply {
-                    writeln!(writer, "{line}")?;
-                }
-                writer.flush()?;
+                outcome?;
             }
         }
     }
@@ -425,13 +434,33 @@ fn sanitize(msg: &str) -> String {
     msg.replace(['\n', '\r'], "; ")
 }
 
+/// Runs one `SWEEP` request, streaming each cell's `RESULT` line the
+/// moment the cell completes (replayed from the journal or freshly
+/// computed, from whichever worker finished it) — a client watching the
+/// connection sees results trickle in instead of waiting for the whole
+/// batch. Failure lines (`TIMEOUT`/`ERR`) and the final `DONE` summary
+/// are written after the sweep settles, since a panicking cell on the
+/// plain path is only known once the worker pool unwinds.
+///
+/// A write error mid-stream (client vanished) is swallowed per line:
+/// completed cells are already journaled, so the only loss is the dead
+/// connection's unread bytes.
 fn run_sweep(
     shared: &Shared,
     head: &SweepHead,
     specs: &[CellSpec],
     deadline: Option<Instant>,
-) -> Vec<String> {
-    let mut lines: Vec<Option<String>> = vec![None; specs.len()];
+    writer: &Mutex<std::io::BufWriter<TcpStream>>,
+) -> std::io::Result<()> {
+    let send = |line: String| {
+        let mut w = lock_recover(writer);
+        let _ = writeln!(w, "{line}");
+        let _ = w.flush();
+    };
+    // Which spec indices have had their line written (streamed results
+    // now, failures later) — anything still false at the end gets the
+    // no-outcome ERR line.
+    let emitted = Mutex::new(vec![false; specs.len()]);
     let (mut ok, mut timeout, mut err) = (0usize, 0usize, 0usize);
     let (mut hits, mut computed) = (0usize, 0usize);
 
@@ -453,10 +482,11 @@ fn run_sweep(
             }
             (mix, _) => {
                 let what = if mix.is_none() { "group/mix" } else { "policy" };
-                lines[i] = Some(format!(
+                send(format!(
                     "ERR {i} unknown {what} in {} {} {}",
                     spec.group, spec.mix, spec.policy
                 ));
+                lock_recover(&emitted)[i] = true;
                 err += 1;
             }
         }
@@ -464,6 +494,7 @@ fn run_sweep(
 
     for (seed, group) in by_seed {
         let runner = shared.runner_for(head.insts, head.warmup, seed);
+        let fingerprint = runner.config_fingerprint();
         let cells: Vec<SweepCell<'_>> = group
             .iter()
             .map(|(_, mix, policy)| SweepCell {
@@ -477,26 +508,29 @@ fn run_sweep(
             fault_plan: shared.cfg.fault_plan.clone(),
             cell_timeout: shared.cfg.cell_timeout,
             deadline,
+            batch: shared.cfg.batch,
         };
-        let report = run_cells(&cells, shared.cfg.threads, &session);
-        hits += report.replayed;
-        computed += report.computed;
-        for (slot, result) in group.iter().zip(&report.results) {
-            let (i, mix, policy) = slot;
-            if let Some(r) = result {
-                let key = CellKey::new(runner.config_fingerprint(), mix, *policy, seed);
-                lines[*i] = Some(format!(
+        let on_cell = |ci: usize, outcome: &Result<MixResult, CellError>| {
+            // Stream completions; failures wait for the settled report.
+            if let Ok(r) = outcome {
+                let (i, mix, policy) = &group[ci];
+                let key = CellKey::new(fingerprint, mix, *policy, seed);
+                send(format!(
                     "RESULT {i} {}",
                     format_record_line(&key, &encode_result(r))
                 ));
-                ok += 1;
+                lock_recover(&emitted)[*i] = true;
             }
-        }
+        };
+        let report = run_cells_streaming(&cells, shared.cfg.threads, &session, &on_cell);
+        hits += report.replayed;
+        computed += report.computed;
+        ok += report.results.iter().filter(|r| r.is_some()).count();
         for f in &report.failures {
             let i = group[f.index].0;
             match f.kind {
                 CellErrorKind::Timeout => {
-                    lines[i] = Some(format!(
+                    send(format!(
                         "TIMEOUT {i} {}: {}",
                         f.identity,
                         sanitize(&f.error)
@@ -504,10 +538,11 @@ fn run_sweep(
                     timeout += 1;
                 }
                 CellErrorKind::Panic => {
-                    lines[i] = Some(format!("ERR {i} {}: {}", f.identity, sanitize(&f.error)));
+                    send(format!("ERR {i} {}: {}", f.identity, sanitize(&f.error)));
                     err += 1;
                 }
             }
+            lock_recover(&emitted)[i] = true;
         }
     }
 
@@ -518,11 +553,19 @@ fn run_sweep(
     c.hits.fetch_add(hits as u64, Ordering::Relaxed);
     c.computed.fetch_add(computed as u64, Ordering::Relaxed);
 
-    let mut out: Vec<String> = lines
-        .into_iter()
-        .enumerate()
-        .map(|(i, l)| l.unwrap_or_else(|| format!("ERR {i} cell produced no outcome")))
-        .collect();
-    out.push(format_done(head.id, ok, timeout, err, hits, computed));
-    out
+    for (i, done) in lock_recover(&emitted).iter().enumerate() {
+        if !done {
+            send(format!("ERR {i} cell produced no outcome"));
+        }
+    }
+    {
+        let mut w = lock_recover(writer);
+        writeln!(
+            w,
+            "{}",
+            format_done(head.id, ok, timeout, err, hits, computed)
+        )?;
+        w.flush()?;
+    }
+    Ok(())
 }

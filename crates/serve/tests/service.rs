@@ -266,6 +266,92 @@ fn shutdown_request_drains_gracefully() {
     handle2.join().unwrap().unwrap();
 }
 
+/// `RESULT` lines stream as cells complete: on a serial (one-worker)
+/// server, the first cell's line must arrive while the later cells are
+/// still simulating — long before `DONE` — rather than the whole reply
+/// landing in one buffered burst.
+#[test]
+fn results_stream_progressively_as_cells_complete() {
+    let (server, addr, handle) = spawn_server(ServerConfig {
+        threads: 1,
+        ..ServerConfig::default()
+    });
+
+    let stream = std::net::TcpStream::connect(addr).unwrap();
+    let mut reader = LineReader::new(stream.try_clone().unwrap(), MAX_LINE);
+    let mut writer = stream;
+    for line in request(21, 4, None).to_lines() {
+        writeln!(writer, "{line}").unwrap();
+    }
+    writer.flush().unwrap();
+
+    // Timestamp every reply line as it arrives off the wire.
+    let mut arrivals: Vec<(std::time::Instant, String)> = Vec::new();
+    loop {
+        let line = reader.read_line().unwrap().expect("reply line");
+        let done = line.starts_with("DONE");
+        arrivals.push((std::time::Instant::now(), line));
+        if done {
+            break;
+        }
+    }
+
+    assert_eq!(arrivals.len(), 5, "4 RESULT lines + DONE");
+    let first_result = arrivals
+        .iter()
+        .find(|(_, l)| l.starts_with("RESULT"))
+        .expect("at least one RESULT line")
+        .0;
+    let done_at = arrivals.last().unwrap().0;
+    let tail = done_at.duration_since(first_result);
+    let total = done_at.duration_since(arrivals[0].0).max(tail);
+    // Buffered delivery lands every line within microseconds of DONE;
+    // with 4 similar serial cells the first result leads DONE by about
+    // three quarters of the reply window. Demand a quarter — far above
+    // buffering, far below lockstep noise.
+    assert!(
+        tail > total / 4,
+        "first RESULT must lead DONE: lead {tail:?} of {total:?}"
+    );
+
+    server.request_shutdown();
+    handle.join().unwrap().unwrap();
+}
+
+/// The server's `--batch` width is invisible to clients: the same
+/// request against a batch-8 server yields bit-identical results (and
+/// the same protocol shape) as against a plain batch-1 server.
+#[test]
+fn server_batch_width_is_transparent_to_clients() {
+    let mut replies = Vec::new();
+    for (id, batch) in [(31u64, 1usize), (32, 8)] {
+        let (server, addr, handle) = spawn_server(ServerConfig {
+            batch,
+            ..ServerConfig::default()
+        });
+        let client = Client::new(addr.to_string(), id);
+        let reply = client.sweep(&request(id, 4, None)).unwrap();
+        assert_eq!(reply.done["ok"], 4, "batch {batch}");
+        assert_eq!(reply.computed(), 4, "batch {batch}");
+        replies.push(reply);
+        server.request_shutdown();
+        handle.join().unwrap().unwrap();
+    }
+    for (i, (a, b)) in replies[0]
+        .outcomes
+        .iter()
+        .zip(&replies[1].outcomes)
+        .enumerate()
+    {
+        let (a, b) = (a.result().unwrap(), b.result().unwrap());
+        assert_eq!(
+            encode_result(a),
+            encode_result(b),
+            "cell {i}: batch-8 server must match batch-1 bit for bit"
+        );
+    }
+}
+
 // ---------------------------------------------------------------------
 // Subprocess tests: real processes, real signals, real kill -9.
 // ---------------------------------------------------------------------

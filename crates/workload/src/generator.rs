@@ -61,6 +61,49 @@ impl ThreadImage {
         Generator::new(bench.profile(), seed).build()
     }
 
+    /// [`ThreadImage::generate`] with the memory regions filled through
+    /// the lane-parallel RNG block path ([`WorkloadRng::next_block`])
+    /// and bulk page writes — bit-identical output (the scalar path is
+    /// the oracle; see `crates/workload/tests/wide_rng.rs`), several
+    /// times faster on the multi-megabyte MEM working sets. The batch
+    /// engine's image cache generates through this.
+    pub fn generate_wide(bench: Benchmark, seed: u64) -> Self {
+        let mut g = Generator::new(bench.profile(), seed);
+        g.wide_fill = true;
+        g.build()
+    }
+
+    /// Number of resident 64-bit words in the initialized memory image
+    /// (whole touched pages) — the work unit the perfbench generator
+    /// cells report throughput over.
+    pub fn memory_words(&self) -> u64 {
+        self.memory.resident_words() as u64
+    }
+
+    /// Deterministic content digest over the program, memory image, and
+    /// planted registers — equal digests mean bit-identical images.
+    /// Used by the wide-generation bit-identity tests.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut fold_bytes = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        for i in self.program.iter() {
+            fold_bytes(format!("{i:?}").as_bytes());
+        }
+        fold_bytes(&self.memory.digest().to_le_bytes());
+        for &(r, v) in &self.init_regs {
+            fold_bytes(format!("{r:?}={v:#x}").as_bytes());
+        }
+        for &(f, v) in &self.init_fps {
+            fold_bytes(format!("{f:?}={:#x}", v.to_bits()).as_bytes());
+        }
+        h
+    }
+
     /// The benchmark this image reproduces.
     pub fn benchmark(&self) -> Benchmark {
         self.bench
@@ -107,6 +150,10 @@ enum Token {
 struct Generator {
     prof: BenchmarkProfile,
     rng: WorkloadRng,
+    /// Fill data memory through the lane-parallel RNG block path and
+    /// bulk page writes (bit-identical to the scalar fill, which stays
+    /// the oracle).
+    wide_fill: bool,
     code: Vec<I>,
     stream_pos: u32,
     int_rot: u8,
@@ -131,6 +178,7 @@ impl Generator {
         Generator {
             prof,
             rng: WorkloadRng::seed_from_u64(seed ^ 0x5eed_0000),
+            wide_fill: false,
             code: Vec::with_capacity(BODY_TARGET + 64),
             stream_pos: 0,
             int_rot: 0,
@@ -493,7 +541,7 @@ impl Generator {
     /// line so every hop is a new line).
     fn build_memory(&mut self) -> SparseMemory {
         let mut mem = SparseMemory::new();
-        let fill = |mem: &mut SparseMemory, base: u64, bytes: u64, rng: &mut WorkloadRng| {
+        let scalar = |mem: &mut SparseMemory, base: u64, bytes: u64, rng: &mut WorkloadRng| {
             for w in 0..(bytes / 8) {
                 // Values double as FP data and as branch-noise sources.
                 let v: u64 = if w % 2 == 0 {
@@ -504,6 +552,39 @@ impl Generator {
                 mem.write_u64(base + w * 8, v);
             }
         };
+        // The wide fill processes the region one page at a time in
+        // stack buffers (no heap traffic): it draws the page's random
+        // words (consumed at even word offsets only) as one
+        // lane-parallel block, assembles the page, and lands it with a
+        // bulk write. `next_block` is compositional — any chunking
+        // produces the same draws in the same order — so the stream
+        // position after each region matches the scalar fill exactly.
+        let wide = |mem: &mut SparseMemory, base: u64, bytes: u64, rng: &mut WorkloadRng| {
+            const PAGE: usize = 512;
+            let words = (bytes / 8) as usize;
+            let mut draws = [0u64; PAGE / 2 + 1];
+            let mut block = [0u64; PAGE];
+            let mut w0 = 0usize;
+            while w0 < words {
+                let n = (words - w0).min(PAGE);
+                // Even offsets within [w0, w0 + n); page size is even,
+                // so chunk starts keep the region's draw parity.
+                let ndraws = n.div_ceil(2);
+                rng.next_block(&mut draws[..ndraws]);
+                for (i, v) in block[..n].iter_mut().enumerate() {
+                    let w = w0 + i;
+                    *v = if w.is_multiple_of(2) {
+                        draws[i / 2]
+                    } else {
+                        (1.0 + (w % 1024) as f64 / 1024.0_f64).to_bits()
+                    };
+                }
+                mem.write_block(base + (w0 as u64) * 8, &block[..n]);
+                w0 += n;
+            }
+        };
+        let fill: &dyn Fn(&mut SparseMemory, u64, u64, &mut WorkloadRng) =
+            if self.wide_fill { &wide } else { &scalar };
         fill(&mut mem, STREAM_BASE, self.stream_bytes, &mut self.rng);
         fill(&mut mem, HOT_BASE, self.hot_bytes, &mut self.rng);
 

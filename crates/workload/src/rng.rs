@@ -5,6 +5,33 @@
 //! are part of the experiment definition: the same `(benchmark, seed)`
 //! pair must produce the identical program on every host and toolchain,
 //! which a fully specified in-repo generator guarantees.
+//!
+//! Two lane-parallel forms ride on the same algorithm (the batch
+//! engine's image generator uses them; `crates/workload/tests/wide_rng.rs`
+//! proves both bit-identical to the scalar stream):
+//!
+//! * [`WorkloadRng::next_block`] — the next `k` outputs of *one* stream,
+//!   computed lane-parallel. splitmix64 advances its state by a fixed
+//!   odd gamma per draw, so the `i`-th upcoming output is a pure
+//!   function `mix(state + i·GAMMA)` of the current state: a block of
+//!   consecutive outputs has no loop-carried dependence and the
+//!   autovectorizer can lower the per-lane mix to SIMD.
+//! * [`WideRng`] — `L` *independent* streams advanced in lockstep, one
+//!   array of states mixed per call; lane `i` is bit-identical to a
+//!   scalar [`WorkloadRng`] seeded with lane `i`'s seed.
+
+/// splitmix64's fixed odd state increment (2⁶⁴/φ, Weyl sequence).
+const GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// The splitmix64 output function: finalizes one state value into one
+/// uniform output word. Pure, so blocks and lanes can apply it in
+/// parallel.
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// Deterministic splitmix64 generator.
 #[derive(Clone, Debug)]
@@ -18,11 +45,33 @@ impl WorkloadRng {
 
     /// Next 64 uniform bits.
     pub fn next_u64(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
+        self.0 = self.0.wrapping_add(GAMMA);
+        mix(self.0)
+    }
+
+    /// Fills `out` with the stream's next `out.len()` outputs —
+    /// bit-identical to that many [`WorkloadRng::next_u64`] calls, but
+    /// without a loop-carried dependence: within each chunk the lane
+    /// states are `state + (i+1)·GAMMA` and the mix applies per lane,
+    /// a shape the autovectorizer lowers to SIMD. Used by the batch
+    /// engine's wide image-generation path.
+    pub fn next_block(&mut self, out: &mut [u64]) {
+        const LANES: usize = 8;
+        let mut chunks = out.chunks_exact_mut(LANES);
+        for chunk in chunks.by_ref() {
+            let base = self.0;
+            let mut states = [0u64; LANES];
+            for (i, s) in states.iter_mut().enumerate() {
+                *s = base.wrapping_add(GAMMA.wrapping_mul(i as u64 + 1));
+            }
+            for (dst, s) in chunk.iter_mut().zip(states) {
+                *dst = mix(s);
+            }
+            self.0 = base.wrapping_add(GAMMA.wrapping_mul(LANES as u64));
+        }
+        for dst in chunks.into_remainder() {
+            *dst = self.next_u64();
+        }
     }
 
     /// Uniform `f64` in `[0, 1)` (53 mantissa bits).
@@ -58,6 +107,44 @@ impl WorkloadRng {
             let j = self.below(i as u64 + 1) as usize;
             items.swap(i, j);
         }
+    }
+}
+
+/// `L` independent splitmix64 streams advanced in lockstep: one call
+/// steps every lane's state and mixes them as an array (no cross-lane
+/// dependence, so the loop autovectorizes). Lane `i` emits exactly the
+/// stream of `WorkloadRng::seed_from_u64(seeds[i])`.
+#[derive(Clone, Debug)]
+pub struct WideRng<const L: usize> {
+    states: [u64; L],
+}
+
+impl<const L: usize> WideRng<L> {
+    /// One stream per seed.
+    pub fn from_seeds(seeds: [u64; L]) -> Self {
+        WideRng { states: seeds }
+    }
+
+    /// Streams seeded `base, base+1, …, base+L-1` — the workload
+    /// convention (thread `i` of a mix uses `seed + i`).
+    pub fn seed_offsets(base: u64) -> Self {
+        let mut states = [0u64; L];
+        for (i, s) in states.iter_mut().enumerate() {
+            *s = base.wrapping_add(i as u64);
+        }
+        WideRng { states }
+    }
+
+    /// Advances every lane one draw and returns the `L` outputs.
+    pub fn next_lanes(&mut self) -> [u64; L] {
+        let mut out = [0u64; L];
+        for s in self.states.iter_mut() {
+            *s = s.wrapping_add(GAMMA);
+        }
+        for (dst, s) in out.iter_mut().zip(self.states) {
+            *dst = mix(s);
+        }
+        out
     }
 }
 
@@ -104,5 +191,30 @@ mod tests {
         sorted.sort_unstable();
         assert_eq!(sorted, (0..32).collect::<Vec<_>>());
         assert_ne!(v, sorted, "shuffle should move something");
+    }
+
+    #[test]
+    fn block_matches_scalar_and_resumes() {
+        // Interleaving block and scalar draws must track one stream.
+        let mut wide = WorkloadRng::seed_from_u64(7);
+        let mut scalar = WorkloadRng::seed_from_u64(7);
+        let mut buf = [0u64; 13];
+        wide.next_block(&mut buf);
+        for &v in &buf {
+            assert_eq!(v, scalar.next_u64());
+        }
+        assert_eq!(wide.next_u64(), scalar.next_u64(), "state resumes");
+    }
+
+    #[test]
+    fn wide_lanes_match_scalars() {
+        let mut wide = WideRng::<4>::seed_offsets(100);
+        let mut scalars: Vec<WorkloadRng> = (100..104).map(WorkloadRng::seed_from_u64).collect();
+        for _ in 0..64 {
+            let lanes = wide.next_lanes();
+            for (lane, s) in lanes.iter().zip(scalars.iter_mut()) {
+                assert_eq!(*lane, s.next_u64());
+            }
+        }
     }
 }
